@@ -1,0 +1,70 @@
+// Shared helpers for the reproduction bench binaries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/time.h"
+#include "workload/fio.h"
+#include "workload/report.h"
+#include "workload/runner.h"
+
+namespace gimbal::bench {
+
+using workload::FioSpec;
+using workload::FioWorker;
+using workload::Scheme;
+using workload::SsdCondition;
+using workload::Table;
+using workload::Testbed;
+using workload::TestbedConfig;
+
+// Bandwidth in MB/s a worker achieved over the measurement window.
+inline double WorkerMBps(FioWorker& w, Tick window) {
+  return BytesToMiB(w.stats().total_bytes()) / ToSec(window);
+}
+
+inline double AggregateMBps(Testbed& bed) {
+  uint64_t bytes = 0;
+  for (auto& w : bed.workers()) bytes += w->stats().total_bytes();
+  return BytesToMiB(bytes) / ToSec(bed.measured());
+}
+
+// Merge latency histograms of a worker subset by IO type.
+inline LatencyHistogram MergedLatency(Testbed& bed, IoType type,
+                                      size_t first = 0,
+                                      size_t count = SIZE_MAX) {
+  LatencyHistogram all;
+  auto& ws = bed.workers();
+  for (size_t i = first; i < ws.size() && i - first < count; ++i) {
+    all.Merge(type == IoType::kRead ? ws[i]->stats().read_latency
+                                    : ws[i]->stats().write_latency);
+  }
+  return all;
+}
+
+// Default testbed for the microbenchmarks (§5.1-like): one SSD behind a
+// SmartNIC target. Logical capacity is scaled so preconditioning stays
+// cheap; all bandwidth targets are capacity-independent.
+inline TestbedConfig MicroConfig(Scheme scheme, SsdCondition cond) {
+  TestbedConfig cfg;
+  cfg.scheme = scheme;
+  cfg.condition = cond;
+  cfg.ssd.logical_bytes = 512ull << 20;
+  return cfg;
+}
+
+// The paper's fio defaults (§5.1): QD 4 for 128 KiB, QD 32 for 4 KiB;
+// reads random; 128 KiB writes sequential, 4 KiB writes random.
+inline FioSpec PaperSpec(uint32_t io_bytes, bool is_write, uint64_t seed) {
+  FioSpec s;
+  s.io_bytes = io_bytes;
+  s.read_ratio = is_write ? 0.0 : 1.0;
+  s.queue_depth = io_bytes >= 128 * 1024 ? 4 : 32;
+  s.sequential = is_write && io_bytes >= 128 * 1024;
+  s.seed = seed;
+  return s;
+}
+
+}  // namespace gimbal::bench

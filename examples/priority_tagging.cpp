@@ -1,0 +1,100 @@
+// Priority tagging demo (§3.5 per-tenant priority queues + §3.7 virtual
+// view): one tenant mixes latency-sensitive point reads (tagged high)
+// with bulk background reads (tagged low) on a busy Gimbal SSD, then the
+// same mix with every request tagged normal. Tags cut the sensitive
+// stream's tail without touching aggregate throughput.
+//
+//   $ ./examples/priority_tagging
+#include <cstdio>
+
+#include "workload/runner.h"
+
+using namespace gimbal;
+using namespace gimbal::workload;
+
+namespace {
+
+struct Result {
+  double sensitive_p99_us;
+  double sensitive_mbps;
+  double bulk_mbps;
+};
+
+Result Run(bool tag_priorities) {
+  TestbedConfig cfg;
+  cfg.scheme = Scheme::kGimbal;
+  cfg.ssd.logical_bytes = 512ull << 20;
+  Testbed bed(cfg);
+
+  // The tenant under study: sparse latency-sensitive 4K reads...
+  FioSpec sensitive;
+  sensitive.io_bytes = 4096;
+  sensitive.queue_depth = 2;
+  sensitive.rate_cap_bps = 20.0 * 1024 * 1024;
+  sensitive.priority = tag_priorities ? IoPriority::kHigh
+                                      : IoPriority::kNormal;
+  sensitive.seed = 1;
+  // ...plus its own bulk scan traffic on the same tenant connection.
+  FioSpec bulk;
+  bulk.io_bytes = 128 * 1024;
+  bulk.sequential = true;
+  bulk.queue_depth = 16;
+  bulk.priority = tag_priorities ? IoPriority::kLow : IoPriority::kNormal;
+  bulk.seed = 2;
+
+  fabric::Initiator& tenant = bed.AddInitiator(0);
+  FioWorker ws(bed.sim(), tenant, [&] {
+    FioSpec s = sensitive;
+    s.region_bytes = bed.device(0).capacity_bytes();
+    return s;
+  }());
+  FioWorker wb(bed.sim(), tenant, [&] {
+    FioSpec s = bulk;
+    s.region_bytes = bed.device(0).capacity_bytes();
+    return s;
+  }());
+  // Two competing tenants keep the SSD busy.
+  for (int i = 0; i < 2; ++i) {
+    FioSpec other;
+    other.io_bytes = 128 * 1024;
+    other.queue_depth = 8;
+    other.seed = 10 + static_cast<uint64_t>(i);
+    bed.AddWorker(other);
+  }
+
+  ws.Start();
+  wb.Start();
+  for (auto& w : bed.workers()) w->Start();
+  bed.sim().RunUntil(Milliseconds(300));
+  ws.stats().Reset();
+  wb.stats().Reset();
+  Tick window = Milliseconds(700);
+  bed.sim().RunUntil(bed.sim().now() + window);
+
+  return {static_cast<double>(ws.stats().read_latency.p99()) / 1000.0,
+          BytesToMiB(ws.stats().total_bytes()) / ToSec(window),
+          BytesToMiB(wb.stats().total_bytes()) / ToSec(window)};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "One tenant mixes 20 MB/s of latency-sensitive 4K reads with a bulk\n"
+      "128K scan, sharing a Gimbal SSD with two other tenants.\n\n");
+  Result untagged = Run(false);
+  Result tagged = Run(true);
+  std::printf("%-22s %14s %16s %12s\n", "config", "sens_p99_us",
+              "sens_MBps", "bulk_MBps");
+  std::printf("%-22s %14.1f %16.1f %12.1f\n", "all normal priority",
+              untagged.sensitive_p99_us, untagged.sensitive_mbps,
+              untagged.bulk_mbps);
+  std::printf("%-22s %14.1f %16.1f %12.1f\n", "tagged high/low",
+              tagged.sensitive_p99_us, tagged.sensitive_mbps,
+              tagged.bulk_mbps);
+  std::printf(
+      "\nTagging lets the client prioritize latency-sensitive requests over\n"
+      "its own throughput-oriented traffic (§3.5), without a separate\n"
+      "connection or any server-side configuration.\n");
+  return 0;
+}

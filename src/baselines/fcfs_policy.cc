@@ -1,0 +1,2 @@
+// FcfsPolicy is header-only; see fcfs_policy.h.
+#include "baselines/fcfs_policy.h"

@@ -1,0 +1,27 @@
+// Vanilla pass-through policy: first-come-first-served, no pacing, no
+// fairness, unlimited credit. This is the behaviour of an unmodified SPDK
+// NVMe-oF target and the reference point for Table 1 and Fig 13's
+// "vanilla" bars.
+#pragma once
+
+#include "core/io_policy.h"
+
+namespace gimbal::baselines {
+
+class FcfsPolicy : public core::PolicyBase {
+ public:
+  FcfsPolicy(sim::Simulator& sim, ssd::BlockDevice& device)
+      : PolicyBase(sim, device) {}
+
+  void OnRequest(const IoRequest& req) override { SubmitToDevice(req); }
+  std::string name() const override { return "vanilla"; }
+
+ private:
+  void OnDeviceCompletion(const IoRequest& req,
+                          const ssd::DeviceCompletion& dc,
+                          uint64_t /*tag*/) override {
+    Deliver(req, dc);
+  }
+};
+
+}  // namespace gimbal::baselines

@@ -1,0 +1,2 @@
+// PardaPolicy / PardaWindow are header-only; see parda_policy.h.
+#include "baselines/parda_policy.h"

@@ -1,0 +1,98 @@
+// Latency histogram with HDR-style log-linear bucketing.
+//
+// Buckets are arranged as 64 "exponents" x 32 linear sub-buckets, giving
+// ~3% relative error across the full int64 range, with O(1) record and
+// O(buckets) percentile queries. This is what every worker and every bench
+// uses to report avg/p50/p99/p99.9 latencies.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace gimbal {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 5;                  // 32 sub-buckets
+  static constexpr int kSub = 1 << kSubBits;
+  static constexpr int kExponents = 64 - kSubBits;    // enough for int64
+  static constexpr int kBuckets = kExponents * kSub;
+
+  void Record(int64_t value) {
+    if (value < 0) value = 0;
+    ++counts_[BucketIndex(static_cast<uint64_t>(value))];
+    ++total_;
+    sum_ += value;
+    if (value > max_) max_ = value;
+    if (value < min_ || total_ == 1) min_ = value;
+  }
+
+  void Merge(const LatencyHistogram& other) {
+    for (int i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    if (other.total_ > 0) {
+      if (total_ == 0 || other.min_ < min_) min_ = other.min_;
+      if (other.max_ > max_) max_ = other.max_;
+    }
+    total_ += other.total_;
+    sum_ += other.sum_;
+  }
+
+  void Reset() { *this = LatencyHistogram{}; }
+
+  // Value at quantile q in [0,1]. Returns an upper bound of the bucket that
+  // contains the q-th sample (standard HDR semantics).
+  int64_t Percentile(double q) const {
+    if (total_ == 0) return 0;
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total_));
+    if (rank >= total_) rank = total_ - 1;
+    uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      seen += counts_[i];
+      if (seen > rank) return BucketUpperBound(i);
+    }
+    return max_;
+  }
+
+  int64_t p50() const { return Percentile(0.50); }
+  int64_t p90() const { return Percentile(0.90); }
+  int64_t p99() const { return Percentile(0.99); }
+  int64_t p999() const { return Percentile(0.999); }
+
+  uint64_t count() const { return total_; }
+  int64_t min() const { return total_ ? min_ : 0; }
+  int64_t max() const { return max_; }
+  double mean() const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(total_);
+  }
+
+ private:
+  // Values < 32 get exact buckets [0..31]. Larger values are shifted right
+  // until they fit in [32, 63]; the shift amount e and the 5 bits below the
+  // msb identify the bucket, which spans 2^e consecutive values.
+  static int BucketIndex(uint64_t v) {
+    if (v < kSub) return static_cast<int>(v);
+    int msb = 63 - __builtin_clzll(v);
+    int e = msb - kSubBits;  // >= 0
+    int sub = static_cast<int>(v >> e) & (kSub - 1);
+    int idx = (e + 1) * kSub + sub;
+    return idx < kBuckets ? idx : kBuckets - 1;
+  }
+
+  static int64_t BucketUpperBound(int index) {
+    if (index < kSub) return index;
+    int e = index / kSub - 1;
+    uint64_t sub = static_cast<uint64_t>(index & (kSub - 1));
+    uint64_t lower = (uint64_t{kSub} | sub) << e;
+    uint64_t width = uint64_t{1} << e;
+    return static_cast<int64_t>(lower + width - 1);
+  }
+
+  std::array<uint64_t, kBuckets> counts_{};
+  uint64_t total_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace gimbal

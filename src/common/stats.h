@@ -1,0 +1,93 @@
+// Streaming statistics: mean/min/max accumulators and an exponentially
+// weighted moving average (the EWMA that drives Gimbal's latency monitor).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace gimbal {
+
+// Simple streaming accumulator (count / sum / min / max / mean).
+class StreamingStats {
+ public:
+  void Add(double v) {
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+
+  void Reset() { *this = StreamingStats{}; }
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Exponentially weighted moving average with weight `alpha` on the newest
+// sample: ewma = (1-alpha)*ewma + alpha*sample. The first sample initializes
+// the average directly, matching the behaviour Gimbal's latency monitor
+// needs (no cold-start bias toward zero).
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  void Add(double sample) {
+    if (!initialized_) {
+      value_ = sample;
+      initialized_ = true;
+    } else {
+      value_ = (1.0 - alpha_) * value_ + alpha_ * sample;
+    }
+  }
+
+  void Reset() { initialized_ = false; value_ = 0; }
+
+  bool initialized() const { return initialized_; }
+  double value() const { return value_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  double value_ = 0;
+  bool initialized_ = false;
+};
+
+// Windowed rate meter: counts bytes (or ops) completed and reports the rate
+// over the elapsed window. Used by Gimbal's overloaded-state handling, which
+// snaps the target rate to the measured completion rate.
+class RateMeter {
+ public:
+  void Add(uint64_t amount) { accumulated_ += amount; }
+
+  // Close the window that started at `window_start` and ended `now`;
+  // returns the rate in units/sec and restarts the window.
+  double Roll(int64_t window_start, int64_t now) {
+    int64_t elapsed = now - window_start;
+    double rate = elapsed > 0
+                      ? static_cast<double>(accumulated_) * 1e9 /
+                            static_cast<double>(elapsed)
+                      : 0.0;
+    last_rate_ = rate;
+    accumulated_ = 0;
+    return rate;
+  }
+
+  double last_rate() const { return last_rate_; }
+  uint64_t accumulated() const { return accumulated_; }
+
+ private:
+  uint64_t accumulated_ = 0;
+  double last_rate_ = 0;
+};
+
+}  // namespace gimbal

@@ -1,0 +1,50 @@
+// Simulated-time vocabulary used across the library.
+//
+// All simulation timestamps and durations are expressed in integer
+// nanoseconds. We deliberately use a plain signed 64-bit tick (rather than
+// std::chrono) because the simulator does arithmetic on these values in hot
+// paths and mixes them with byte counts when computing rates.
+#pragma once
+
+#include <cstdint>
+
+namespace gimbal {
+
+// A point in simulated time or a span of simulated time, in nanoseconds.
+using Tick = int64_t;
+
+constexpr Tick kNsPerUs = 1'000;
+constexpr Tick kNsPerMs = 1'000'000;
+constexpr Tick kNsPerSec = 1'000'000'000;
+
+constexpr Tick Nanoseconds(int64_t n) { return n; }
+constexpr Tick Microseconds(int64_t n) { return n * kNsPerUs; }
+constexpr Tick Milliseconds(int64_t n) { return n * kNsPerMs; }
+constexpr Tick Seconds(double n) { return static_cast<Tick>(n * kNsPerSec); }
+
+constexpr double ToUs(Tick t) { return static_cast<double>(t) / kNsPerUs; }
+constexpr double ToMs(Tick t) { return static_cast<double>(t) / kNsPerMs; }
+constexpr double ToSec(Tick t) { return static_cast<double>(t) / kNsPerSec; }
+
+// Time to move `bytes` at `bytes_per_sec`, rounded up to a whole nanosecond.
+constexpr Tick TransferTime(uint64_t bytes, double bytes_per_sec) {
+  if (bytes_per_sec <= 0) return 0;
+  double ns = static_cast<double>(bytes) * kNsPerSec / bytes_per_sec;
+  return static_cast<Tick>(ns) + 1;
+}
+
+// Bytes/sec achieved when `bytes` complete over `elapsed` ticks.
+constexpr double RateBps(uint64_t bytes, Tick elapsed) {
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(bytes) * kNsPerSec / static_cast<double>(elapsed);
+}
+
+constexpr double BytesToMiB(uint64_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+constexpr uint64_t KiB(uint64_t n) { return n * 1024; }
+constexpr uint64_t MiB(uint64_t n) { return n * 1024 * 1024; }
+constexpr uint64_t GiB(uint64_t n) { return n * 1024 * 1024 * 1024; }
+
+}  // namespace gimbal

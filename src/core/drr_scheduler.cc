@@ -1,0 +1,178 @@
+#include "core/drr_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gimbal::core {
+
+TenantState& DrrScheduler::GetTenant(TenantId id) {
+  auto it = tenants_.find(id);
+  if (it == tenants_.end()) {
+    it = tenants_.emplace(id, std::make_unique<TenantState>(id)).first;
+    busy_flags_[id] = false;
+  }
+  return *it->second;
+}
+
+const TenantState* DrrScheduler::FindTenant(TenantId id) const {
+  auto it = tenants_.find(id);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+void DrrScheduler::UpdateBusy(TenantState& t) {
+  bool busy = IsBusy(t);
+  bool& flag = busy_flags_[t.id()];
+  if (busy == flag) return;
+  flag = busy;
+  busy_tenants_ += busy ? 1 : -1;
+}
+
+void DrrScheduler::Activate(TenantState& t) {
+  if (t.in_active || t.in_deferred) return;
+  t.in_active = true;
+  t.new_round = true;
+  active_.push_back(&t);
+}
+
+void DrrScheduler::Enqueue(const IoRequest& req) {
+  TenantState& t = GetTenant(req.tenant);
+  t.Enqueue(req);
+  ++queued_total_;
+  UpdateBusy(t);
+  Activate(t);
+}
+
+std::optional<DrrScheduler::Scheduled> DrrScheduler::Dequeue() {
+  // Keep cycling DRR rounds until a request qualifies or no tenant remains
+  // schedulable. Rounds are free when nobody else competes — a head IO
+  // whose weighted size spans several quanta (e.g. a 128 KiB write at
+  // write cost 9) simply accumulates deficit across consecutive rounds,
+  // exactly as §3.5 describes. Termination: every pass either removes a
+  // tenant (idle/deferred) or raises every remaining tenant's deficit by a
+  // quantum, and weighted sizes are bounded by slot_bytes x worst cost.
+  constexpr int kMaxPasses = 100000;
+  for (int i = 0; i < kMaxPasses && !active_.empty(); ++i) {
+    TenantState* t = active_.front();
+    if (!t->HasQueued()) {
+      // Idle tenant leaves the round and forfeits its deficit.
+      t->deficit = 0;
+      t->in_active = false;
+      t->DropEmptyOpenSlot();
+      active_.pop_front();
+      UpdateBusy(*t);
+      continue;
+    }
+    if (!t->HasOpenSlot() && !t->TryOpenSlot(AllottedSlots())) {
+      // Out of virtual slots: move to deferred, zero the deficit
+      // (Algorithm 2 / §3.5).
+      t->deficit = 0;
+      t->in_active = false;
+      t->in_deferred = true;
+      active_.pop_front();
+      continue;
+    }
+    if (t->new_round) {
+      t->deficit += static_cast<uint64_t>(
+          TenantWeight(t->id()) * static_cast<double>(params_.drr_quantum));
+      t->new_round = false;
+    }
+    const IoRequest& head = t->Peek();
+    uint64_t weighted =
+        cost_.WeightedBytes(head.type == IoType::kWrite, head.length);
+    if (t->deficit < weighted) {
+      // Not enough deficit this round: rotate to the back and earn a new
+      // quantum when the head of the list comes around again.
+      active_.pop_front();
+      t->in_active = false;
+      Activate(*t);
+      continue;
+    }
+    Scheduled out;
+    out.req = t->Pop();
+    --queued_total_;
+    t->deficit -= weighted;
+    out.slot_id = t->ChargeSlot(weighted, params_.slot_bytes);
+    // If the slot filled and no further slot can open, the tenant defers
+    // immediately so it cannot monopolize the next dequeue.
+    if (!t->HasOpenSlot() && !t->TryOpenSlot(AllottedSlots())) {
+      t->deficit = 0;
+      t->in_active = false;
+      t->in_deferred = true;
+      active_.pop_front();
+    }
+    UpdateBusy(*t);
+    return out;
+  }
+  return std::nullopt;
+}
+
+std::vector<IoRequest> DrrScheduler::Disconnect(TenantId tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return {};
+  TenantState& t = *it->second;
+  active_.erase(std::remove(active_.begin(), active_.end(), &t),
+                active_.end());
+  t.in_active = false;
+  t.in_deferred = false;
+  t.deficit = 0;
+  std::vector<IoRequest> dropped = t.DrainQueues();
+  queued_total_ -= static_cast<uint32_t>(dropped.size());
+  t.DropEmptyOpenSlot();
+  t.disconnected = true;
+  UpdateBusy(t);
+  if (!IsBusy(t)) {
+    busy_flags_.erase(tenant);
+    weights_.erase(tenant);
+    tenants_.erase(it);
+  }
+  return dropped;
+}
+
+void DrrScheduler::OnCompletion(TenantId tenant, uint64_t slot_id) {
+  TenantState& t = GetTenant(tenant);
+  t.OnCompletion(slot_id);
+  ++t.ios_completed;
+  if (!t.HasQueued()) t.ReapQuiescentOpenSlot();
+  if (t.disconnected) {
+    UpdateBusy(t);
+    if (!IsBusy(t)) {
+      busy_flags_.erase(tenant);
+      weights_.erase(tenant);
+      tenants_.erase(tenant);
+    }
+    return;
+  }
+  if (t.in_deferred) {
+    if (t.HasQueued()) {
+      // Algorithm 2, Sched_Complete: a freed slot re-activates the tenant
+      // at the end of the active list.
+      if (t.TryOpenSlot(AllottedSlots())) {
+        t.in_deferred = false;
+        Activate(t);
+      }
+    } else {
+      // Nothing left to schedule: leave the deferred list and go idle.
+      t.in_deferred = false;
+    }
+  }
+  UpdateBusy(t);
+}
+
+void DrrScheduler::SetTenantWeight(TenantId id, double weight) {
+  assert(weight > 0);
+  weights_[id] = weight;
+}
+
+double DrrScheduler::TenantWeight(TenantId id) const {
+  auto it = weights_.find(id);
+  return it == weights_.end() ? 1.0 : it->second;
+}
+
+uint32_t DrrScheduler::CreditFor(TenantId tenant) const {
+  const TenantState* t = FindTenant(tenant);
+  if (t == nullptr) return AllottedSlots() * 4;
+  uint32_t credit = AllottedSlots() * t->last_slot_io_count();
+  return credit > 0 ? credit : 1;
+}
+
+}  // namespace gimbal::core

@@ -1,0 +1,97 @@
+// Two-level hierarchical IO scheduler (§3.5, Algorithm 2).
+//
+// Level 1: deficit round-robin across tenants, with deficits measured in
+// cost-weighted bytes (a write IO costs write_cost x size). Tenants whose
+// virtual-slot allotment is exhausted move to a *deferred* list: their
+// deficit is zeroed and stops accumulating until a slot completes
+// (Algorithm 2's active/deferred discipline), which also prevents
+// deceptive idleness.
+//
+// Level 2: within a tenant, client-tagged priority queues are served by
+// weighted round-robin (TenantState::Peek/Pop).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/params.h"
+#include "core/virtual_slot.h"
+#include "core/write_cost.h"
+#include "nvme/types.h"
+
+namespace gimbal::core {
+
+class DrrScheduler {
+ public:
+  DrrScheduler(const GimbalParams& params, const WriteCostEstimator& cost)
+      : params_(params), cost_(cost) {}
+
+  // Ingress: queue a request on its tenant's priority queue.
+  void Enqueue(const IoRequest& req);
+
+  // A dequeued request plus the virtual slot it was charged to.
+  struct Scheduled {
+    IoRequest req;
+    uint64_t slot_id = 0;
+  };
+
+  // Pick the next request per DRR; returns nullopt when no tenant is
+  // eligible (all idle or deferred).
+  std::optional<Scheduled> Dequeue();
+
+  // Egress: an IO completed; credits its slot and possibly re-activates a
+  // deferred tenant (Algorithm 2, Sched_Complete).
+  void OnCompletion(TenantId tenant, uint64_t slot_id);
+
+  // Tenant teardown: removes the tenant from scheduling and returns its
+  // still-queued requests (the caller fails them back to the client).
+  // IOs already at the device complete normally; the tenant's state is
+  // reaped once the last one returns.
+  std::vector<IoRequest> Disconnect(TenantId tenant);
+
+  size_t tenant_count() const { return tenants_.size(); }
+
+  // Per-tenant slot allotment: the threshold divided evenly among busy
+  // tenants, never below one (§3.5).
+  uint32_t AllottedSlots() const {
+    uint32_t busy = busy_tenants_ > 0 ? busy_tenants_ : 1;
+    uint32_t share = params_.slots_threshold / busy;
+    return share > 0 ? share : 1;
+  }
+
+  // Total credit granted to a tenant (§3.6): allotted slots x IO count of
+  // its most recently completed slot.
+  uint32_t CreditFor(TenantId tenant) const;
+
+  TenantState& GetTenant(TenantId id);
+  const TenantState* FindTenant(TenantId id) const;
+  uint32_t queued_total() const { return queued_total_; }
+
+  // Extension beyond the paper (its future-work "flexible scheduling
+  // policies"): per-tenant service weights. A tenant with weight w earns
+  // w x the DRR quantum per round, i.e. a w-proportional share of the
+  // cost-normalized service. Weight must be > 0; default 1.
+  void SetTenantWeight(TenantId id, double weight);
+  double TenantWeight(TenantId id) const;
+
+ private:
+  void Activate(TenantState& t);
+  void UpdateBusy(TenantState& t);
+  bool IsBusy(const TenantState& t) const {
+    return t.HasQueued() || t.SlotsInUse() > 0;
+  }
+
+  const GimbalParams& params_;
+  const WriteCostEstimator& cost_;
+  std::unordered_map<TenantId, std::unique_ptr<TenantState>> tenants_;
+  std::unordered_map<TenantId, double> weights_;
+  std::unordered_map<TenantId, bool> busy_flags_;
+  std::deque<TenantState*> active_;
+  uint32_t busy_tenants_ = 0;
+  uint32_t queued_total_ = 0;
+};
+
+}  // namespace gimbal::core

@@ -1,0 +1,114 @@
+#include "core/gimbal_switch.h"
+
+namespace gimbal::core {
+
+GimbalSwitch::GimbalSwitch(sim::Simulator& sim, ssd::BlockDevice& device,
+                           GimbalParams params)
+    : PolicyBase(sim, device),
+      params_(params),
+      write_cost_(params_),
+      rate_(params_),
+      scheduler_(params_, write_cost_) {}
+
+void GimbalSwitch::OnRequest(const IoRequest& req) {
+  ++stats_.requests;
+  scheduler_.Enqueue(req);
+  Pump();
+}
+
+void GimbalSwitch::OnTenantDisconnect(TenantId tenant) {
+  // Fail still-queued requests back to the client; the head-of-line
+  // request (if it belongs to this tenant) was already charged to a slot
+  // and will submit/complete normally, as will device-inflight IOs.
+  for (const IoRequest& req : scheduler_.Disconnect(tenant)) {
+    IoCompletion cpl;
+    cpl.id = req.id;
+    cpl.tenant = req.tenant;
+    cpl.type = req.type;
+    cpl.length = req.length;
+    cpl.ok = false;
+    if (complete_) complete_(req, cpl);
+  }
+}
+
+void GimbalSwitch::MaybeUpdateWriteCost() {
+  // §3.4: periodic ADMI update driven by the write EWMA latency.
+  Tick now = sim_.now();
+  if (now - last_cost_update_ < params_.write_cost_period) return;
+  last_cost_update_ = now;
+  write_cost_.PeriodicUpdate(rate_.monitor(IoType::kWrite).ewma_latency());
+}
+
+void GimbalSwitch::Pump() {
+  // Algorithm 1, Submission(): drain the DRR while the buckets allow.
+  while (true) {
+    if (!head_) {
+      head_ = scheduler_.Dequeue();
+      if (!head_) return;  // nothing eligible (idle or all deferred)
+    }
+    const IoRequest& req = head_->req;
+    if (!rate_.TrySubmit(req.type, req.length, sim_.now(),
+                         write_cost_.cost())) {
+      // Pacing stall: retry when enough tokens will have accrued. The
+      // completion path also re-pumps, whichever comes first.
+      ++stats_.pacing_stalls;
+      SchedulePoke(
+          rate_.PacingDelay(req.type, req.length, write_cost_.cost()));
+      return;
+    }
+    ++io_outstanding_;
+    SubmitToDevice(req, head_->slot_id);
+    head_.reset();
+  }
+}
+
+void GimbalSwitch::SchedulePoke(Tick delay) {
+  if (poke_scheduled_) return;
+  poke_scheduled_ = true;
+  if (delay < Microseconds(1)) delay = Microseconds(1);
+  sim_.After(delay, [this]() {
+    poke_scheduled_ = false;
+    Pump();
+  });
+}
+
+void GimbalSwitch::OnDeviceCompletion(const IoRequest& req,
+                                      const ssd::DeviceCompletion& dc,
+                                      uint64_t slot_id) {
+  ++stats_.completions;
+  --io_outstanding_;
+
+  // Algorithm 1, Completion(): latency feedback -> congestion state ->
+  // target rate adjustment.
+  CongestionState state =
+      rate_.OnCompletion(req.type, dc.latency(), req.length, sim_.now());
+  if (state == CongestionState::kCongested) ++stats_.congestion_signals;
+  if (state == CongestionState::kOverloaded) ++stats_.overload_events;
+
+  MaybeUpdateWriteCost();
+
+  // Algorithm 2, Sched_Complete(): return the IO to its virtual slot.
+  scheduler_.OnCompletion(req.tenant, slot_id);
+
+  // §3.6: piggyback the tenant's refreshed credit on the completion.
+  Deliver(req, dc, scheduler_.CreditFor(req.tenant));
+
+  // Self-clocking: every completion drives the next submission.
+  Pump();
+}
+
+VirtualView GimbalSwitch::View(TenantId tenant) const {
+  VirtualView v;
+  const double rate = rate_.target_rate();
+  const double wc = write_cost_.cost();
+  v.read_headroom_bps = rate * wc / (1.0 + wc);
+  v.write_headroom_bps = rate * 1.0 / (1.0 + wc);
+  v.credits = scheduler_.CreditFor(tenant);
+  // Report the worse of the two monitors' states.
+  auto rs = rate_.monitor(IoType::kRead).state();
+  auto ws = rate_.monitor(IoType::kWrite).state();
+  v.state = static_cast<int>(rs) > static_cast<int>(ws) ? rs : ws;
+  return v;
+}
+
+}  // namespace gimbal::core

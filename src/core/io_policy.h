@@ -1,0 +1,125 @@
+// The pluggable per-SSD multi-tenancy policy interface.
+//
+// The NVMe-oF target owns one policy instance per SSD pipeline and feeds it
+// every arriving request; the policy decides when to hand commands to the
+// block device and reports completions (with an optional piggybacked
+// credit, §3.6) back to the target. Gimbal and all baselines (ReFlex,
+// Parda, FlashFQ, vanilla FCFS) implement this interface, so experiments
+// swap schemes by swapping one object.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "nvme/types.h"
+#include "sim/simulator.h"
+#include "ssd/block_device.h"
+
+namespace gimbal::core {
+
+class IoPolicy {
+ public:
+  // Invoked when the policy completes a request: the original request plus
+  // completion metadata (device latency, piggybacked credit).
+  using CompletionFn =
+      std::function<void(const IoRequest&, const IoCompletion&)>;
+
+  virtual ~IoPolicy() = default;
+
+  // A request arrived at the target ingress for this SSD.
+  virtual void OnRequest(const IoRequest& req) = 0;
+
+  // NVMe Dataset Management (deallocate/TRIM): control-plane, bypasses the
+  // data-path scheduler.
+  virtual void OnTrim(uint64_t offset, uint32_t length) {
+    (void)offset;
+    (void)length;
+  }
+
+  // Tenant connection teardown. Policies holding queued requests fail
+  // them back through the completion path (ok=false); inflight device IOs
+  // complete normally.
+  virtual void OnTenantDisconnect(TenantId tenant) { (void)tenant; }
+
+  // Current total credit for a tenant (Algorithm 3's credit_obtain);
+  // policies without flow control grant effectively-unlimited credit.
+  virtual uint32_t CreditFor(TenantId tenant) const {
+    (void)tenant;
+    return UINT32_MAX;
+  }
+
+  virtual std::string name() const = 0;
+
+  void set_completion_fn(CompletionFn fn) { complete_ = std::move(fn); }
+
+ protected:
+  CompletionFn complete_;
+};
+
+// Shared plumbing: request tracking, device submission with latency
+// measurement, and an overridable device-completion hook.
+class PolicyBase : public IoPolicy {
+ public:
+  PolicyBase(sim::Simulator& sim, ssd::BlockDevice& device)
+      : sim_(sim), device_(device) {}
+
+  void OnTrim(uint64_t offset, uint32_t length) override {
+    device_.Trim(offset, length);
+  }
+
+  uint32_t device_inflight() const { return device_.inflight(); }
+
+ protected:
+  // Hand one command to the SSD; OnDeviceCompletion fires when it finishes.
+  // `tag` is round-tripped untouched (Gimbal uses it for the virtual-slot
+  // id the IO was charged to).
+  void SubmitToDevice(const IoRequest& req, uint64_t tag = 0) {
+    uint64_t cookie = next_cookie_++;
+    tracked_.emplace(cookie, Tracked{req, tag});
+    ssd::DeviceIo io;
+    io.cookie = cookie;
+    io.type = req.type;
+    io.offset = req.offset;
+    io.length = req.length;
+    device_.Submit(io, [this](const ssd::DeviceCompletion& dc) {
+      auto it = tracked_.find(dc.cookie);
+      Tracked t = it->second;
+      tracked_.erase(it);
+      OnDeviceCompletion(t.req, dc, t.tag);
+    });
+  }
+
+  // Subclasses update their state, then call Deliver().
+  virtual void OnDeviceCompletion(const IoRequest& req,
+                                  const ssd::DeviceCompletion& dc,
+                                  uint64_t tag) = 0;
+
+  // Send the completion up to the target/fabric.
+  void Deliver(const IoRequest& req, const ssd::DeviceCompletion& dc,
+               uint32_t credit = 0) {
+    IoCompletion cpl;
+    cpl.id = req.id;
+    cpl.tenant = req.tenant;
+    cpl.type = req.type;
+    cpl.length = req.length;
+    cpl.device_latency = dc.latency();
+    cpl.target_latency = sim_.now() - req.target_arrival;
+    cpl.credit = credit;
+    if (complete_) complete_(req, cpl);
+  }
+
+  sim::Simulator& sim_;
+  ssd::BlockDevice& device_;
+
+ private:
+  struct Tracked {
+    IoRequest req;
+    uint64_t tag;
+  };
+  std::unordered_map<uint64_t, Tracked> tracked_;
+  uint64_t next_cookie_ = 1;
+};
+
+}  // namespace gimbal::core

@@ -1,0 +1,55 @@
+#include "core/latency_monitor.h"
+
+namespace gimbal::core {
+
+const char* ToString(CongestionState s) {
+  switch (s) {
+    case CongestionState::kUnderUtilized: return "under-utilized";
+    case CongestionState::kCongestionAvoidance: return "congestion-avoidance";
+    case CongestionState::kCongested: return "congested";
+    case CongestionState::kOverloaded: return "overloaded";
+  }
+  return "?";
+}
+
+LatencyMonitor::LatencyMonitor(const GimbalParams& params)
+    : params_(params),
+      ewma_(params.alpha_d),
+      threshold_(static_cast<double>(params.thresh_max)) {}
+
+void LatencyMonitor::Reset() {
+  ewma_.Reset();
+  threshold_ = static_cast<double>(params_.thresh_max);
+  state_ = CongestionState::kUnderUtilized;
+}
+
+CongestionState LatencyMonitor::Update(Tick latency) {
+  ewma_.Add(static_cast<double>(latency));
+  const double ewma = ewma_.value();
+  const double max = static_cast<double>(params_.thresh_max);
+  const double min = static_cast<double>(params_.thresh_min);
+
+  if (ewma > max) {
+    // Algorithm 1: thresh = thresh_max; state = overloaded.
+    threshold_ = max;
+    state_ = CongestionState::kOverloaded;
+  } else if (ewma > threshold_) {
+    // Congestion signal: back the threshold off halfway to the ceiling so
+    // further signals require genuinely higher latency (Reno-style).
+    threshold_ = (threshold_ + max) / 2.0;
+    state_ = CongestionState::kCongested;
+  } else if (ewma > min) {
+    // Decay the threshold toward the EWMA so the next latency rise is
+    // detected promptly.
+    threshold_ -= params_.alpha_t * (threshold_ - ewma);
+    state_ = CongestionState::kCongestionAvoidance;
+  } else {
+    threshold_ -= params_.alpha_t * (threshold_ - ewma);
+    state_ = CongestionState::kUnderUtilized;
+  }
+  // The threshold never drops below the congestion-free floor.
+  if (threshold_ < min) threshold_ = min;
+  return state_;
+}
+
+}  // namespace gimbal::core

@@ -1,0 +1,47 @@
+// Per-IO-type latency monitor implementing Gimbal's delay-based congestion
+// detection (§3.2 and the update_latency procedure of Algorithm 1).
+//
+// Keeps an EWMA of completion latencies and a *dynamic* threshold that
+// decays toward the EWMA (so congestion is detected promptly for small IOs)
+// and jumps halfway to Thresh_max when exceeded (so signals become more
+// frequent as latency approaches the ceiling).
+#pragma once
+
+#include "common/stats.h"
+#include "common/time.h"
+#include "core/params.h"
+
+namespace gimbal::core {
+
+// The four congestion states of §3.3.
+enum class CongestionState {
+  kUnderUtilized,       // ewma < Thresh_min
+  kCongestionAvoidance, // Thresh_min <= ewma < Thresh_cur
+  kCongested,           // Thresh_cur <= ewma < Thresh_max
+  kOverloaded,          // ewma >= Thresh_max
+};
+
+const char* ToString(CongestionState s);
+
+class LatencyMonitor {
+ public:
+  explicit LatencyMonitor(const GimbalParams& params);
+
+  // Record a completion latency; returns the resulting congestion state.
+  // Mirrors Algorithm 1's update_latency line by line.
+  CongestionState Update(Tick latency);
+
+  double ewma_latency() const { return ewma_.initialized() ? ewma_.value() : 0; }
+  double threshold() const { return threshold_; }
+  CongestionState state() const { return state_; }
+
+  void Reset();
+
+ private:
+  const GimbalParams& params_;
+  Ewma ewma_;
+  double threshold_;
+  CongestionState state_ = CongestionState::kUnderUtilized;
+};
+
+}  // namespace gimbal::core

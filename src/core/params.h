@@ -1,0 +1,57 @@
+// Gimbal tunables, with the defaults the paper derives in §4.2.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace gimbal::core {
+
+struct GimbalParams {
+  // --- Delay-based congestion control (§3.2) -------------------------------
+  // Thresh_min: upper bound of "congestion-free" latency; must exceed the
+  // worst single-outstanding-IO latency (230us on the paper's SSD).
+  Tick thresh_min = Microseconds(250);
+  // Thresh_max: above this EWMA latency the device is overloaded. Paper:
+  // 1500us for the DCT983 (3ms for the P3600 in §5.8).
+  Tick thresh_max = Microseconds(1500);
+  // alpha_T: how aggressively the dynamic threshold chases the EWMA latency
+  // (higher -> congestion signals are generated speculatively earlier).
+  double alpha_t = 0.5;  // 2^-1
+  // alpha_D: EWMA weight for the measured IO latency.
+  double alpha_d = 0.5;  // 2^-1
+
+  // --- Rate control (§3.3, Algorithm 1) ------------------------------------
+  // beta: multiplier on additive increase in the under-utilized state.
+  double beta = 8.0;
+  // Window over which the completion rate is measured (used when entering
+  // the overloaded state).
+  Tick completion_rate_window = Milliseconds(50);
+  // Initial target rate before any feedback (bytes/sec).
+  double initial_rate = 400e6;
+  // Floor so the pipeline can always probe its way back up.
+  double min_rate = 4e6;
+
+  // --- Dual token bucket (Appendix C.1, Algorithm 4) ------------------------
+  uint64_t bucket_cap_bytes = 128 * 1024;
+
+  // --- Write cost estimation (§3.4) -----------------------------------------
+  // Worst-case write cost: max random-read IOPS / max random-write IOPS
+  // from the datasheet (9 for the DCT983).
+  double write_cost_worst = 9.0;
+  // Additive decrement applied while write EWMA latency < Thresh_min.
+  double write_cost_delta = 0.5;
+  // Update cadence for the ADMI adjustment.
+  Tick write_cost_period = Milliseconds(1);
+
+  // --- Virtual slots / DRR (§3.5, Algorithm 2) ------------------------------
+  // Slot size: the de-facto maximum NVMe-oF IO size.
+  uint32_t slot_bytes = 128 * 1024;
+  // Slots for a single tenant: minimum outstanding 128K reads that reach the
+  // device's full sequential bandwidth.
+  uint32_t slots_threshold = 8;
+  // DRR quantum added per round (the maximum IO size).
+  uint32_t drr_quantum = 128 * 1024;
+};
+
+}  // namespace gimbal::core

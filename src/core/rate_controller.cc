@@ -1,0 +1,73 @@
+#include "core/rate_controller.h"
+
+#include <algorithm>
+
+namespace gimbal::core {
+
+namespace {
+// Generous ceiling: far above any modeled device, merely prevents the
+// under-utilized probe from pushing the float to absurd magnitudes.
+constexpr double kMaxRate = 64e9;
+}  // namespace
+
+CongestionState RateController::OnCompletion(IoType type, Tick latency,
+                                             uint32_t bytes, Tick now) {
+  // Roll the completion-rate measurement window.
+  if (!window_started_) {
+    window_started_ = true;
+    window_start_ = now;
+  }
+  completion_meter_.Add(bytes);
+  if (now - window_start_ >= params_.completion_rate_window) {
+    completion_meter_.Roll(window_start_, now);
+    window_start_ = now;
+  }
+
+  LatencyMonitor& mon =
+      type == IoType::kRead ? read_monitor_ : write_monitor_;
+  CongestionState state = mon.Update(latency);
+
+  const double size = static_cast<double>(bytes);
+  switch (state) {
+    case CongestionState::kOverloaded: {
+      // The device is saturated far beyond the knee: incremental decrease
+      // will not converge. Snap to the measured completion rate and keep
+      // draining (Algorithm 1 lines 3-5 + 6-7).
+      double cpl_rate = completion_meter_.last_rate();
+      if (cpl_rate > 0) target_rate_ = cpl_rate;
+      bucket_.DiscardTokens();
+      target_rate_ -= size;
+      break;
+    }
+    case CongestionState::kCongested:
+      target_rate_ -= size;
+      break;
+    case CongestionState::kCongestionAvoidance:
+      target_rate_ += size;
+      break;
+    case CongestionState::kUnderUtilized:
+      target_rate_ += params_.beta * size;
+      break;
+  }
+  target_rate_ = std::clamp(target_rate_, params_.min_rate, kMaxRate);
+  return state;
+}
+
+Tick RateController::PacingDelay(IoType type, uint64_t bytes,
+                                 double write_cost) const {
+  (void)write_cost;
+  double have = bucket_.tokens(type);
+  double need = static_cast<double>(bytes) - have;
+  if (need <= 0) return 0;
+  // Optimistic estimate: when the sibling bucket is at capacity its share
+  // spills over (Algorithm 4), so tokens can arrive at up to the full
+  // target rate. If the spill does not materialize the pump simply pokes
+  // again; underestimating the wait costs a few events, overestimating it
+  // would throttle the pipeline to the per-bucket share.
+  double rate = target_rate_;
+  if (rate <= 0) return Milliseconds(1);
+  Tick wait = static_cast<Tick>(need * kNsPerSec / rate) + 1;
+  return std::min<Tick>(wait, Milliseconds(10));
+}
+
+}  // namespace gimbal::core

@@ -1,0 +1,43 @@
+#include "core/token_bucket.h"
+
+namespace gimbal::core {
+
+void DualTokenBucket::Update(Tick now, double target_rate, double write_cost) {
+  if (!started_) {
+    started_ = true;
+    last_update_ = now;
+    return;
+  }
+  Tick elapsed = now - last_update_;
+  if (elapsed <= 0) return;
+  last_update_ = now;
+
+  const double avail =
+      target_rate * static_cast<double>(elapsed) / kNsPerSec;
+  // Algorithm 4: read bucket gets wc/(1+wc), write bucket 1/(1+wc).
+  read_tokens_ += avail * write_cost / (1.0 + write_cost);
+  write_tokens_ += avail * 1.0 / (1.0 + write_cost);
+
+  // Overflow transfers to the sibling bucket, then both clamp at capacity.
+  if (read_tokens_ > cap_) {
+    write_tokens_ += read_tokens_ - cap_;
+    read_tokens_ = cap_;
+  }
+  if (write_tokens_ > cap_) {
+    read_tokens_ += write_tokens_ - cap_;
+    if (read_tokens_ > cap_) read_tokens_ = cap_;
+    write_tokens_ = cap_;
+  }
+}
+
+void DualTokenBucket::Consume(IoType type, uint64_t bytes) {
+  double& t = type == IoType::kRead ? read_tokens_ : write_tokens_;
+  t -= static_cast<double>(bytes);
+}
+
+void DualTokenBucket::DiscardTokens() {
+  read_tokens_ = 0;
+  write_tokens_ = 0;
+}
+
+}  // namespace gimbal::core

@@ -1,0 +1,51 @@
+// Dual token bucket rate pacer (§3.3, Appendix C.1, Algorithm 4).
+//
+// Tokens are generated at the congestion controller's target rate and split
+// between a read bucket and a write bucket in proportion write_cost:1, so
+// writes are paced at their own (costlier) rate rather than the aggregate
+// one. Overflow transfers between buckets; both are capped.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+#include "core/params.h"
+#include "nvme/types.h"
+
+namespace gimbal::core {
+
+class DualTokenBucket {
+ public:
+  explicit DualTokenBucket(const GimbalParams& params)
+      : cap_(static_cast<double>(params.bucket_cap_bytes)) {}
+
+  // Accrue tokens for the elapsed time at `target_rate` (bytes/sec), split
+  // by the current write cost. Call before every dequeue attempt
+  // (Algorithm 1's update_token_buckets()).
+  void Update(Tick now, double target_rate, double write_cost);
+
+  // Whether an IO of `bytes` of `type` can be submitted now.
+  bool HasTokens(IoType type, uint64_t bytes) const {
+    return tokens(type) >= static_cast<double>(bytes);
+  }
+
+  // Consume tokens for a submitted IO.
+  void Consume(IoType type, uint64_t bytes);
+
+  // Overloaded state: discard accumulated tokens to kill bursts (Alg 1).
+  void DiscardTokens();
+
+  double tokens(IoType type) const {
+    return type == IoType::kRead ? read_tokens_ : write_tokens_;
+  }
+  double capacity() const { return cap_; }
+
+ private:
+  double cap_;
+  double read_tokens_ = 0;
+  double write_tokens_ = 0;
+  Tick last_update_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace gimbal::core

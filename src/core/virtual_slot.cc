@@ -1,0 +1,74 @@
+#include "core/virtual_slot.h"
+
+#include <cassert>
+#include <cstddef>
+
+namespace gimbal::core {
+
+namespace {
+constexpr int kPriorityWeight[kNumPriorities] = {4, 2, 1};
+}
+
+const IoRequest& TenantState::Peek() {
+  assert(queued_ > 0);
+  // Advance the weighted round-robin cursor to a non-empty queue.
+  for (int hops = 0; hops < 2 * kNumPriorities; ++hops) {
+    if (rr_budget_ > 0 && !queues_[rr_cursor_].empty()) {
+      return queues_[rr_cursor_].front();
+    }
+    rr_cursor_ = (rr_cursor_ + 1) % kNumPriorities;
+    rr_budget_ = kPriorityWeight[rr_cursor_];
+  }
+  // All budgets skipped empty queues: fall back to the first non-empty.
+  for (auto& q : queues_) {
+    if (!q.empty()) return q.front();
+  }
+  assert(false && "HasQueued() was true but all queues empty");
+  return queues_[0].front();
+}
+
+IoRequest TenantState::Pop() {
+  // Peek positions the cursor on the queue to serve.
+  Peek();
+  for (int p = 0; p < kNumPriorities; ++p) {
+    int idx = (rr_cursor_ + p) % kNumPriorities;
+    if (!queues_[idx].empty()) {
+      IoRequest req = queues_[idx].front();
+      queues_[idx].pop_front();
+      --queued_;
+      if (idx == rr_cursor_ && rr_budget_ > 0) --rr_budget_;
+      return req;
+    }
+  }
+  assert(false && "Pop on empty tenant");
+  return IoRequest{};
+}
+
+uint64_t TenantState::ChargeSlot(uint64_t weighted_bytes,
+                                 uint64_t slot_bytes) {
+  assert(HasOpenSlot());
+  VirtualSlot& slot = slots_.back();
+  ++slot.submits;
+  slot.weighted_bytes += weighted_bytes;
+  if (slot.weighted_bytes >= slot_bytes) slot.is_full = true;
+  return slot.id;
+}
+
+bool TenantState::OnCompletion(uint64_t slot_id) {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    VirtualSlot& slot = slots_[i];
+    if (slot.id != slot_id) continue;
+    assert(slot.completions < slot.submits);
+    ++slot.completions;
+    if (slot.Complete()) {
+      last_slot_io_count_ = slot.submits;
+      slots_.erase(slots_.begin() + static_cast<long>(i));
+      return true;
+    }
+    return false;
+  }
+  assert(false && "completion for an unknown slot");
+  return false;
+}
+
+}  // namespace gimbal::core

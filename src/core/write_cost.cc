@@ -1,0 +1,3 @@
+// WriteCostEstimator is header-only; this translation unit exists so the
+// module shows up in the library and can grow out-of-line logic later.
+#include "core/write_cost.h"

@@ -1,0 +1,146 @@
+#include "fabric/initiator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+namespace gimbal::fabric {
+
+Initiator::Initiator(sim::Simulator& sim, Network& net, Target& target,
+                     int pipeline, TenantId tenant, ThrottleMode mode,
+                     baselines::PardaParams parda)
+    : sim_(sim), net_(net), target_(target), pipeline_(pipeline),
+      tenant_(tenant), mode_(mode), parda_(parda) {
+  target_.Connect(pipeline_, tenant_, this);
+}
+
+bool Initiator::CanIssue() const {
+  switch (mode_) {
+    case ThrottleMode::kNone:
+      return true;
+    case ThrottleMode::kCredit:
+      // Algorithm 3: submit while credit_tot > inflight.
+      return credit_total_ > inflight_;
+    case ThrottleMode::kParda:
+      return parda_.CanIssue(inflight_);
+  }
+  return true;
+}
+
+void Initiator::Submit(IoType type, uint64_t offset, uint32_t length,
+                       IoPriority prio, DoneFn done) {
+  if (shutdown_) {
+    if (done) {
+      IoCompletion cpl;
+      cpl.tenant = tenant_;
+      cpl.type = type;
+      cpl.length = length;
+      cpl.ok = false;
+      sim_.After(0, [done = std::move(done), cpl]() { done(cpl, 0); });
+    }
+    return;
+  }
+  if (length > kMaxTransferBytes) {
+    // MDTS splitting: chain commands of at most the fabric's maximum
+    // transfer size; the caller's completion fires when the last chunk
+    // returns, reporting the aggregate length.
+    auto remaining = std::make_shared<uint32_t>(
+        (length + kMaxTransferBytes - 1) / kMaxTransferBytes);
+    auto shared_done = std::make_shared<DoneFn>(std::move(done));
+    uint32_t total = length;
+    for (uint64_t off = offset; off < offset + length;
+         off += kMaxTransferBytes) {
+      uint32_t chunk = static_cast<uint32_t>(
+          std::min<uint64_t>(kMaxTransferBytes, offset + length - off));
+      Submit(type, off, chunk, prio,
+             [remaining, shared_done, total](const IoCompletion& cpl,
+                                             Tick e2e) {
+               if (--*remaining > 0) return;
+               if (*shared_done) {
+                 IoCompletion agg = cpl;
+                 agg.length = total;
+                 (*shared_done)(agg, e2e);
+               }
+             });
+    }
+    return;
+  }
+  Pending p;
+  p.req.id = next_id_++;
+  p.req.tenant = tenant_;
+  p.req.type = type;
+  p.req.offset = offset;
+  p.req.length = length;
+  p.req.priority = prio;
+  p.done = std::move(done);
+  pending_.push_back(std::move(p));
+  IssueLoop();
+}
+
+void Initiator::Shutdown() {
+  if (shutdown_) return;
+  shutdown_ = true;
+  // Fail everything still queued locally.
+  std::deque<Pending> pending = std::move(pending_);
+  pending_.clear();
+  for (auto& p : pending) {
+    if (!p.done) continue;
+    IoCompletion cpl;
+    cpl.id = p.req.id;
+    cpl.tenant = tenant_;
+    cpl.type = p.req.type;
+    cpl.length = p.req.length;
+    cpl.ok = false;
+    sim_.After(0, [done = std::move(p.done), cpl]() { done(cpl, 0); });
+  }
+  // The disconnect capsule trails any already-issued commands (the fabric
+  // is FIFO per direction), so the target sees them first.
+  net_.Send(Direction::kClientToTarget, kCapsuleBytes, [this]() {
+    target_.OnDisconnectCapsule(pipeline_, tenant_);
+  });
+}
+
+void Initiator::Trim(uint64_t offset, uint32_t length) {
+  net_.Send(Direction::kClientToTarget, kCapsuleBytes,
+            [this, offset, length]() {
+              target_.OnTrimCapsule(pipeline_, offset, length);
+            });
+}
+
+void Initiator::IssueLoop() {
+  while (!pending_.empty() && CanIssue()) {
+    Pending p = std::move(pending_.front());
+    pending_.pop_front();
+    p.req.client_submit = sim_.now();
+    ++inflight_;
+    IoRequest req = p.req;
+    issued_.emplace(req.id, std::move(p));
+    // Step (a): the command capsule crosses the fabric. Small writes
+    // inline their payload into the capsule; larger writes move later via
+    // the target's RDMA_READ.
+    uint64_t capsule = kCapsuleBytes;
+    if (req.type == IoType::kWrite && req.length <= kInlineWriteBytes) {
+      capsule += req.length;
+    }
+    net_.Send(Direction::kClientToTarget, capsule, [this, req]() {
+      target_.OnCommandCapsule(pipeline_, req);
+    });
+  }
+}
+
+void Initiator::OnFabricCompletion(const IoCompletion& cpl) {
+  auto it = issued_.find(cpl.id);
+  assert(it != issued_.end() && "completion for unknown IO");
+  Pending p = std::move(it->second);
+  issued_.erase(it);
+  --inflight_;
+
+  const Tick e2e = sim_.now() - p.req.client_submit;
+  if (cpl.credit > 0) credit_total_ = cpl.credit;  // §3.6 credit update
+  if (mode_ == ThrottleMode::kParda) parda_.OnCompletion(e2e, sim_.now());
+
+  if (p.done) p.done(cpl, e2e);
+  IssueLoop();
+}
+
+}  // namespace gimbal::fabric

@@ -1,0 +1,91 @@
+// NVMe-oF initiator: the client side of one tenant's connection to one
+// remote SSD pipeline.
+//
+// Owns the client half of the end-to-end flow control (§3.6, Algorithm 3):
+// IOs queue locally and are issued only while the throttle allows —
+//   kNone   : no client-side limit (ReFlex / FlashFQ / vanilla setups),
+//   kCredit : outstanding < the credit piggybacked on completions (Gimbal),
+//   kParda  : outstanding < the PARDA latency-driven window.
+// The queue-then-issue behaviour is exactly the "IO rate limiter" the
+// RocksDB case study gets for free (§4.3).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "baselines/parda_policy.h"
+#include "fabric/network.h"
+#include "fabric/target.h"
+#include "nvme/types.h"
+
+namespace gimbal::fabric {
+
+enum class ThrottleMode { kNone, kCredit, kParda };
+
+class Initiator : public CompletionSink {
+ public:
+  // Completion callback: the completion plus client-observed end-to-end
+  // latency.
+  using DoneFn = std::function<void(const IoCompletion&, Tick e2e_latency)>;
+
+  Initiator(sim::Simulator& sim, Network& net, Target& target, int pipeline,
+            TenantId tenant, ThrottleMode mode = ThrottleMode::kNone,
+            baselines::PardaParams parda = {});
+
+  // Queue an IO for issue; `done` fires when its completion returns.
+  void Submit(IoType type, uint64_t offset, uint32_t length, IoPriority prio,
+              DoneFn done);
+
+  // NVMe deallocate (TRIM) for a page-aligned range. Control-plane:
+  // bypasses the credit throttle and data-path scheduling.
+  void Trim(uint64_t offset, uint32_t length);
+
+  // Graceful teardown: locally-queued IOs fail immediately (ok=false);
+  // issued IOs either complete normally or come back failed from the
+  // target's queues; a disconnect capsule tells the target to reap the
+  // tenant. No new Submits are accepted afterwards.
+  void Shutdown();
+  bool shutdown() const { return shutdown_; }
+
+  // Algorithm 3's device-busy signal, observable by applications.
+  bool DeviceBusy() const { return !CanIssue(); }
+
+  uint32_t inflight() const { return inflight_; }
+  uint32_t queued() const { return static_cast<uint32_t>(pending_.size()); }
+  // Client-visible credit total (the §3.7 virtual-view load signal the KV
+  // load balancer uses: more credits = less loaded SSD).
+  uint32_t credits() const { return credit_total_; }
+  double parda_window() const { return parda_.window(); }
+  TenantId tenant() const { return tenant_; }
+  int pipeline() const { return pipeline_; }
+
+  void OnFabricCompletion(const IoCompletion& cpl) override;
+
+ private:
+  struct Pending {
+    IoRequest req;
+    DoneFn done;
+  };
+
+  bool CanIssue() const;
+  void IssueLoop();
+
+  sim::Simulator& sim_;
+  Network& net_;
+  Target& target_;
+  int pipeline_;
+  TenantId tenant_;
+  ThrottleMode mode_;
+  baselines::PardaWindow parda_;
+
+  std::deque<Pending> pending_;
+  std::unordered_map<uint64_t, Pending> issued_;
+  uint64_t next_id_ = 1;
+  uint32_t inflight_ = 0;
+  uint32_t credit_total_ = 8;  // optimistic initial grant, refined by cpl
+  bool shutdown_ = false;
+};
+
+}  // namespace gimbal::fabric

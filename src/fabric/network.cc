@@ -1,0 +1,2 @@
+// Network is header-only; see network.h.
+#include "fabric/network.h"

@@ -1,0 +1,55 @@
+// Fabric network model for NVMe-oF/RDMA traffic.
+//
+// Models the storage node's NIC as a full-duplex shared link: messages
+// serialize on the direction's bandwidth and then experience a fixed
+// propagation/switching latency. Capsules are 64 B; RDMA data moves in
+// messages of the IO's size (§2.1's five-step request flow is built from
+// these primitives by the target).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/resource.h"
+#include "sim/simulator.h"
+
+namespace gimbal::fabric {
+
+struct NetworkConfig {
+  double bandwidth_bps = 100e9 / 8;       // 100 Gbps, in bytes/sec
+  Tick base_latency = Microseconds(5);    // NIC + switch + propagation
+};
+
+enum class Direction { kClientToTarget, kTargetToClient };
+
+constexpr uint32_t kCapsuleBytes = 64;      // command/completion capsule
+constexpr uint32_t kRdmaControlBytes = 16;  // RDMA_READ request header
+
+class Network {
+ public:
+  Network(sim::Simulator& sim, NetworkConfig config = {})
+      : sim_(sim), config_(config), c2t_(sim), t2c_(sim) {}
+
+  // Deliver a `bytes`-sized message in `dir`; `deliver` runs after
+  // serialization on the shared link plus the base latency.
+  void Send(Direction dir, uint64_t bytes, sim::EventFn deliver) {
+    sim::FifoResource& link =
+        dir == Direction::kClientToTarget ? c2t_ : t2c_;
+    bytes_sent_ += bytes;
+    link.Acquire(TransferTime(bytes, config_.bandwidth_bps),
+                 [this, deliver = std::move(deliver)]() {
+                   sim_.After(config_.base_latency, std::move(deliver));
+                 });
+  }
+
+  const NetworkConfig& config() const { return config_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  sim::Simulator& sim_;
+  NetworkConfig config_;
+  sim::FifoResource c2t_;
+  sim::FifoResource t2c_;
+  uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace gimbal::fabric

@@ -1,0 +1,104 @@
+#include "fabric/target.h"
+
+#include <cassert>
+
+namespace gimbal::fabric {
+
+Target::Target(sim::Simulator& sim, Network& net, TargetConfig config)
+    : sim_(sim), net_(net), config_(config) {
+  cores_.reserve(config_.cores);
+  for (int i = 0; i < config_.cores; ++i) {
+    cores_.push_back(std::make_unique<sim::FifoResource>(sim_));
+  }
+}
+
+int Target::AddPipeline(std::unique_ptr<core::IoPolicy> policy) {
+  auto p = std::make_unique<Pipeline>();
+  p->policy = std::move(policy);
+  // Shared-nothing: pipelines spread round-robin over the cores (§4.1:
+  // one A72 core fully drives one PCIe Gen3 SSD).
+  p->core = static_cast<int>(pipelines_.size()) % config_.cores;
+  Pipeline* raw = p.get();
+  p->policy->set_completion_fn(
+      [this, raw](const IoRequest& req, const IoCompletion& cpl) {
+        FinishCompletion(*raw, req, cpl);
+      });
+  pipelines_.push_back(std::move(p));
+  return static_cast<int>(pipelines_.size()) - 1;
+}
+
+void Target::Connect(int pipeline, TenantId tenant, CompletionSink* sink) {
+  pipelines_[pipeline]->sinks[tenant] = sink;
+}
+
+void Target::OnCommandCapsule(int pipeline, IoRequest req) {
+  Pipeline& p = *pipelines_[pipeline];
+  ++stats_.ios;
+  stats_.bytes += req.length;
+  // Target-side latency is measured from capsule arrival to the completion
+  // capsule being handed to the NIC (the (b)-(e) window of §2.1).
+  req.target_arrival = sim_.now();
+  // Step (b): submission processing on the pipeline's core.
+  CoreOf(p).Acquire(
+      config_.submit_cost + config_.added_cost, [this, &p, req]() mutable {
+        if (req.type == IoType::kWrite && req.length > kInlineWriteBytes) {
+          // RDMA_READ of the client payload: control message out, data in,
+          // then staging through node memory.
+          net_.Send(Direction::kTargetToClient, kRdmaControlBytes,
+                    [this, &p, req]() mutable {
+                      net_.Send(Direction::kClientToTarget, req.length,
+                                [this, &p, req]() mutable {
+                                  sim_.After(StagingDelay(req.length),
+                                             [&p, req]() {
+                                               p.policy->OnRequest(req);
+                                             });
+                                });
+                    });
+        } else if (req.type == IoType::kWrite) {
+          // Inlined payload arrived with the capsule: just stage it.
+          sim_.After(StagingDelay(req.length), [&p, req]() {
+            p.policy->OnRequest(req);
+          });
+        } else {
+          p.policy->OnRequest(req);
+        }
+      });
+}
+
+void Target::OnTrimCapsule(int pipeline, uint64_t offset, uint32_t length) {
+  Pipeline& p = *pipelines_[pipeline];
+  CoreOf(p).Acquire(config_.submit_cost, [&p, offset, length]() {
+    p.policy->OnTrim(offset, length);
+  });
+}
+
+void Target::OnDisconnectCapsule(int pipeline, TenantId tenant) {
+  Pipeline& p = *pipelines_[pipeline];
+  CoreOf(p).Acquire(config_.submit_cost, [&p, tenant]() {
+    p.policy->OnTenantDisconnect(tenant);
+  });
+}
+
+void Target::FinishCompletion(Pipeline& p, const IoRequest& req,
+                              IoCompletion cpl) {
+  // Step (e) prologue: completion processing on the core.
+  CoreOf(p).Acquire(config_.complete_cost, [this, &p, req, cpl]() mutable {
+    cpl.target_latency = sim_.now() - req.target_arrival;
+    auto it = p.sinks.find(req.tenant);
+    assert(it != p.sinks.end() && "completion for unconnected tenant");
+    CompletionSink* sink = it->second;
+    if (req.type == IoType::kRead && cpl.ok) {
+      // Step (d): stage data out of node memory, RDMA_WRITE it, then the
+      // completion capsule follows on the same direction.
+      sim_.After(StagingDelay(req.length), [this, req, cpl, sink]() {
+        net_.Send(Direction::kTargetToClient, req.length + kCapsuleBytes,
+                  [cpl, sink]() { sink->OnFabricCompletion(cpl); });
+      });
+    } else {
+      net_.Send(Direction::kTargetToClient, kCapsuleBytes,
+                [cpl, sink]() { sink->OnFabricCompletion(cpl); });
+    }
+  });
+}
+
+}  // namespace gimbal::fabric

@@ -1,0 +1,73 @@
+#include "kv/blobstore.h"
+
+#include <cassert>
+#include <memory>
+
+namespace gimbal::kv {
+
+void Blobstore::Read(const BlobAddr& addr, IoPriority prio, DoneFn done) {
+  assert(addr.valid());
+  ++stats_.reads;
+  stats_.read_bytes += addr.bytes;
+  backends_[static_cast<size_t>(addr.backend)]->Submit(
+      IoType::kRead, addr.offset, PageAligned(addr.bytes), prio,
+      [done = std::move(done)](const IoCompletion&, Tick) {
+        if (done) done();
+      });
+}
+
+void Blobstore::Write(const BlobAddr& addr, IoPriority prio, DoneFn done) {
+  assert(addr.valid());
+  ++stats_.writes;
+  stats_.write_bytes += addr.bytes;
+  backends_[static_cast<size_t>(addr.backend)]->Submit(
+      IoType::kWrite, addr.offset, PageAligned(addr.bytes), prio,
+      [done = std::move(done)](const IoCompletion&, Tick) {
+        if (done) done();
+      });
+}
+
+void Blobstore::Trim(const BlobAddr& addr) {
+  assert(addr.valid());
+  ++stats_.trims;
+  backends_[static_cast<size_t>(addr.backend)]->Trim(addr.offset,
+                                                     PageAligned(addr.bytes));
+}
+
+void Blobstore::WriteReplicated(const BlobAddr& primary,
+                                const BlobAddr& shadow, IoPriority prio,
+                                DoneFn done) {
+  if (!shadow.valid()) {
+    Write(primary, prio, std::move(done));
+    return;
+  }
+  auto remaining = std::make_shared<int>(2);
+  auto joint = [remaining, done = std::move(done)]() {
+    if (--*remaining == 0 && done) done();
+  };
+  Write(primary, prio, joint);
+  Write(shadow, prio, joint);
+}
+
+void Blobstore::ReadBalanced(const BlobAddr& primary, const BlobAddr& shadow,
+                             IoPriority prio, DoneFn done) {
+  if (!load_balance_reads_ || !shadow.valid()) {
+    Read(primary, prio, std::move(done));
+    return;
+  }
+  // §4.3: the replica whose remote SSD holds more credits absorbs the
+  // read. Credits are only refreshed by completions on that backend, so a
+  // small fraction of reads deliberately probes the *less*-credited
+  // replica to keep its estimate fresh (else a cold backend's stale low
+  // credit would pin all traffic to one copy forever).
+  bool shadow_wins = credits(shadow.backend) > credits(primary.backend);
+  if (++lb_rr_ % 16 == 0) shadow_wins = !shadow_wins;
+  if (shadow_wins) {
+    ++stats_.balanced_to_shadow;
+    Read(shadow, prio, std::move(done));
+  } else {
+    Read(primary, prio, std::move(done));
+  }
+}
+
+}  // namespace gimbal::kv

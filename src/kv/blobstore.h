@@ -1,0 +1,78 @@
+// Blobstore: the NVMe-oF-aware storage layer the LSM tree runs on (§4.3).
+//
+// One DB instance owns one Blobstore, which owns one Initiator per remote
+// backend SSD. It provides:
+//   * plain blob read/write (rounded up to device pages),
+//   * replicated writes — primary and shadow complete before the callback
+//     fires (the paper's flash-failure tolerance),
+//   * load-balanced reads — the copy whose backend currently advertises
+//     more credits (§3.7 virtual view) is chosen,
+//   * the per-backend credit reading the hierarchical blob allocator's
+//     load-aware placement uses.
+// Client-side rate limiting is inherited from the Initiator's credit
+// throttle (§4.3's "IO rate limiter ... automatically supported").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fabric/initiator.h"
+#include "kv/types.h"
+
+namespace gimbal::kv {
+
+class Blobstore {
+ public:
+  using DoneFn = std::function<void()>;
+
+  // `backends[i]` is this instance's initiator to backend SSD i. Not owned.
+  explicit Blobstore(std::vector<fabric::Initiator*> backends,
+                     bool load_balance_reads = true)
+      : backends_(std::move(backends)),
+        load_balance_reads_(load_balance_reads) {}
+
+  void Read(const BlobAddr& addr, IoPriority prio, DoneFn done);
+  void Write(const BlobAddr& addr, IoPriority prio, DoneFn done);
+
+  // Write both copies; `done` fires when the slower one finishes.
+  void WriteReplicated(const BlobAddr& primary, const BlobAddr& shadow,
+                       IoPriority prio, DoneFn done);
+
+  // Read whichever replica's backend has more credits (falls back to the
+  // primary when balancing is disabled or the shadow is missing).
+  void ReadBalanced(const BlobAddr& primary, const BlobAddr& shadow,
+                    IoPriority prio, DoneFn done);
+
+  // Deallocate a blob on its backend (NVMe TRIM): tells the SSD the data
+  // is dead so garbage collection stops relocating it.
+  void Trim(const BlobAddr& addr);
+
+  uint32_t credits(int backend) const {
+    return backends_[static_cast<size_t>(backend)]->credits();
+  }
+  int backend_count() const { return static_cast<int>(backends_.size()); }
+  bool load_balance_reads() const { return load_balance_reads_; }
+
+  struct Stats {
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t read_bytes = 0;
+    uint64_t write_bytes = 0;
+    uint64_t balanced_to_shadow = 0;  // reads steered off-primary
+    uint64_t trims = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  static uint32_t PageAligned(uint32_t bytes) {
+    return (bytes + 4095u) & ~4095u;
+  }
+
+  std::vector<fabric::Initiator*> backends_;
+  bool load_balance_reads_;
+  uint64_t lb_rr_ = 0;  // epsilon-probe counter for replica selection
+  Stats stats_;
+};
+
+}  // namespace gimbal::kv

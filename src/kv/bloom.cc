@@ -1,0 +1,37 @@
+#include "kv/bloom.h"
+
+#include <algorithm>
+
+namespace gimbal::kv {
+
+BloomFilter::BloomFilter(uint64_t expected_keys, int bits_per_key) {
+  uint64_t bits = std::max<uint64_t>(64, expected_keys * bits_per_key);
+  bits_.assign((bits + 63) / 64, 0);
+  // Optimal hash count ~ 0.69 * bits_per_key.
+  num_hashes_ = std::clamp(static_cast<int>(bits_per_key * 0.69), 1, 12);
+}
+
+uint64_t BloomFilter::Hash(uint64_t key, uint64_t seed) {
+  // SplitMix64-style mix with a per-hash seed.
+  uint64_t z = key + seed * 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+void BloomFilter::Add(uint64_t key) {
+  for (int i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = Hash(key, static_cast<uint64_t>(i) + 1) % bit_count();
+    bits_[bit / 64] |= uint64_t{1} << (bit % 64);
+  }
+}
+
+bool BloomFilter::MayContain(uint64_t key) const {
+  for (int i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = Hash(key, static_cast<uint64_t>(i) + 1) % bit_count();
+    if ((bits_[bit / 64] & (uint64_t{1} << (bit % 64))) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace gimbal::kv

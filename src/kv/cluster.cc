@@ -1,0 +1,88 @@
+#include "kv/cluster.h"
+
+namespace gimbal::kv {
+
+KvCluster::KvCluster(KvClusterConfig cfg)
+    : cfg_(cfg),
+      bed_(cfg.testbed),
+      global_(cfg.testbed.num_ssds, cfg.hba) {}
+
+KvCluster::Instance& KvCluster::AddInstance() {
+  auto inst = std::make_unique<Instance>();
+  for (int b = 0; b < cfg_.testbed.num_ssds; ++b) {
+    inst->initiators.push_back(&bed_.AddInitiator(b, cfg_.throttle));
+  }
+  inst->blobs = std::make_unique<Blobstore>(inst->initiators,
+                                            cfg_.load_balance_reads);
+  Blobstore* blobs = inst->blobs.get();
+  // The local allocator's load signal is the §3.7 virtual-view credit.
+  inst->alloc = std::make_unique<LocalBlobAllocator>(
+      global_, [blobs](int backend) { return blobs->credits(backend); });
+  inst->db = std::make_unique<KvDb>(bed_.sim(), *inst->blobs, *inst->alloc,
+                                    cfg_.db);
+  instances_.push_back(std::move(inst));
+  return *instances_.back();
+}
+
+YcsbClient::YcsbClient(sim::Simulator& sim, KvDb& db,
+                       workload::YcsbSpec spec, int concurrency)
+    : sim_(sim), db_(db), gen_(spec), concurrency_(concurrency) {}
+
+void YcsbClient::Start() {
+  if (running_) return;
+  running_ = true;
+  for (int i = 0; i < concurrency_; ++i) IssueOne();
+}
+
+void YcsbClient::Finish(Tick start, bool is_read) {
+  Tick lat = sim_.now() - start;
+  stats_.op_latency.Record(lat);
+  if (is_read) stats_.read_latency.Record(lat);
+  ++stats_.ops;
+  if (running_) IssueOne();
+}
+
+void YcsbClient::IssueOne() {
+  auto op = gen_.Next();
+  Tick start = sim_.now();
+  const uint32_t vb = gen_.spec().value_bytes;
+  switch (op.op) {
+    case workload::YcsbOp::kRead:
+      ++stats_.reads;
+      db_.Get(op.key, [this, start](bool found, Value) {
+        if (!found) ++stats_.not_found;
+        Finish(start, true);
+      });
+      break;
+    case workload::YcsbOp::kUpdate:
+      ++stats_.updates;
+      db_.Put(op.key, vb, next_stamp_++, [this, start]() {
+        Finish(start, false);
+      });
+      break;
+    case workload::YcsbOp::kInsert:
+      ++stats_.inserts;
+      db_.Put(op.key, vb, next_stamp_++, [this, start]() {
+        Finish(start, false);
+      });
+      break;
+    case workload::YcsbOp::kScan:
+      ++stats_.scans;
+      db_.Scan(op.key, op.scan_length, [this, start](auto results) {
+        stats_.scanned_records += results.size();
+        Finish(start, true);
+      });
+      break;
+    case workload::YcsbOp::kReadModifyWrite:
+      ++stats_.rmws;
+      db_.Get(op.key, [this, start, key = op.key, vb](bool found, Value) {
+        if (!found) ++stats_.not_found;
+        db_.Put(key, vb, next_stamp_++, [this, start]() {
+          Finish(start, false);
+        });
+      });
+      break;
+  }
+}
+
+}  // namespace gimbal::kv

@@ -1,0 +1,83 @@
+// C++20 coroutine adapters for the KV store's callback API.
+//
+// The simulator is single-threaded, so these are thin awaitable shims:
+//
+//   sim::Task Client(kv::KvDb& db, sim::Simulator& sim) {
+//     co_await kv::AwaitPut(db, 42, 1024, 1);
+//     auto [found, value] = co_await kv::AwaitGet(db, 42);
+//     auto rows = co_await kv::AwaitScan(db, 0, 10);
+//   }
+#pragma once
+
+#include <coroutine>
+#include <utility>
+#include <vector>
+
+#include "kv/db.h"
+
+namespace gimbal::kv {
+
+// co_await AwaitPut(db, key, bytes, stamp) -> void (resumes when durable).
+class AwaitPut {
+ public:
+  AwaitPut(KvDb& db, Key key, uint32_t bytes, uint64_t stamp)
+      : db_(db), key_(key), bytes_(bytes), stamp_(stamp) {}
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    db_.Put(key_, bytes_, stamp_, [h]() { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  KvDb& db_;
+  Key key_;
+  uint32_t bytes_;
+  uint64_t stamp_;
+};
+
+// co_await AwaitGet(db, key) -> std::pair<bool, Value>.
+class AwaitGet {
+ public:
+  AwaitGet(KvDb& db, Key key) : db_(db), key_(key) {}
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    db_.Get(key_, [this, h](bool found, Value v) {
+      result_ = {found, v};
+      h.resume();
+    });
+  }
+  std::pair<bool, Value> await_resume() const noexcept { return result_; }
+
+ private:
+  KvDb& db_;
+  Key key_;
+  std::pair<bool, Value> result_{false, Value{}};
+};
+
+// co_await AwaitScan(db, start, count) -> std::vector<std::pair<Key,Value>>.
+class AwaitScan {
+ public:
+  AwaitScan(KvDb& db, Key start, uint32_t count)
+      : db_(db), start_(start), count_(count) {}
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    db_.Scan(start_, count_, [this, h](auto results) {
+      results_ = std::move(results);
+      h.resume();
+    });
+  }
+  std::vector<std::pair<Key, Value>> await_resume() noexcept {
+    return std::move(results_);
+  }
+
+ private:
+  KvDb& db_;
+  Key start_;
+  uint32_t count_;
+  std::vector<std::pair<Key, Value>> results_;
+};
+
+}  // namespace gimbal::kv

@@ -1,0 +1,605 @@
+#include "kv/db.h"
+
+#include <algorithm>
+#include <map>
+#include <cassert>
+
+namespace gimbal::kv {
+
+KvDb::KvDb(sim::Simulator& sim, Blobstore& blobs, LocalBlobAllocator& alloc,
+           KvDbConfig config)
+    : sim_(sim), blobs_(blobs), alloc_(alloc), config_(config) {
+  levels_.resize(static_cast<size_t>(config_.levels));
+}
+
+uint64_t KvDb::BytesAt(int level) const {
+  uint64_t total = 0;
+  for (const auto& t : levels_[level]) total += t->data_bytes();
+  return total;
+}
+
+uint64_t KvDb::LevelLimit(int level) const {
+  assert(level >= 1);
+  double limit = static_cast<double>(config_.level1_bytes);
+  for (int l = 1; l < level; ++l) limit *= config_.level_multiplier;
+  return static_cast<uint64_t>(limit);
+}
+
+// ---------------------------------------------------------------------------
+// Write path
+// ---------------------------------------------------------------------------
+
+void KvDb::Put(Key key, uint32_t value_bytes, uint64_t stamp, PutDone done) {
+  ++stats_.puts;
+  PutInternal(key, Value{value_bytes, stamp, false}, std::move(done));
+}
+
+void KvDb::Delete(Key key, PutDone done) {
+  ++stats_.deletes;
+  PutInternal(key, Value{0, 0, true}, std::move(done));
+}
+
+void KvDb::PutInternal(Key key, const Value& value, PutDone done) {
+  if (immutables_.size() >= static_cast<size_t>(config_.max_immutables)) {
+    // RocksDB-style write stall: flushes cannot keep up.
+    ++stats_.write_stalls;
+    stalled_.push_back(StalledPut{key, value, std::move(done)});
+    return;
+  }
+  memtable_.Put(key, value);
+  if (config_.wal) {
+    AppendWal(value.bytes + Memtable::kEntryOverhead, std::move(done));
+  } else if (done) {
+    sim_.After(0, std::move(done));
+  }
+  if (memtable_.bytes() >= config_.memtable_bytes) RotateMemtable();
+}
+
+void KvDb::AppendWal(uint32_t bytes, PutDone done) {
+  wal_batch_bytes_ += bytes;
+  if (done) wal_batch_waiters_.push_back(std::move(done));
+  MaybeFlushWal();
+}
+
+bool KvDb::EnsureWalSpace(uint32_t bytes) {
+  if (wal_blob_.valid() && wal_used_ + bytes <= wal_blob_.bytes) return true;
+  auto blob = alloc_.AllocateMicro();
+  if (!blob) return false;
+  wal_blob_ = *blob;
+  wal_used_ = 0;
+  wal_blobs_.push_back(*blob);
+  if (config_.replicate) {
+    auto shadow = alloc_.AllocateMicro(/*exclude_backend=*/blob->backend);
+    wal_shadow_ = shadow.value_or(BlobAddr{});
+    if (shadow) wal_shadow_blobs_.push_back(*shadow);
+  }
+  return true;
+}
+
+void KvDb::MaybeFlushWal() {
+  if (wal_inflight_ || wal_batch_bytes_ == 0) return;
+  uint32_t batch = static_cast<uint32_t>(
+      std::min<uint64_t>(wal_batch_bytes_, 256 * 1024));
+  if (!EnsureWalSpace(batch)) {
+    // Allocator exhausted (blobs pinned by in-flight flushes): retry soon
+    // so group-committed Puts are never stranded.
+    sim_.After(Milliseconds(1), [this]() { MaybeFlushWal(); });
+    return;
+  }
+  wal_inflight_ = true;
+  ++stats_.wal_writes;
+  auto waiters = std::make_shared<std::vector<PutDone>>(
+      std::move(wal_batch_waiters_));
+  wal_batch_waiters_.clear();
+  wal_batch_bytes_ = 0;
+
+  BlobAddr dst = wal_blob_;
+  dst.offset += wal_used_;
+  dst.bytes = batch;
+  BlobAddr sdst = wal_shadow_;
+  if (sdst.valid()) {
+    sdst.offset += wal_used_;
+    sdst.bytes = batch;
+  }
+  wal_used_ += batch;
+
+  blobs_.WriteReplicated(dst, sdst, config_.wal_priority, [this, waiters]() {
+    wal_inflight_ = false;
+    for (auto& w : *waiters) {
+      if (w) w();
+    }
+    MaybeFlushWal();  // group-commit the batch that accumulated meanwhile
+  });
+}
+
+void KvDb::RotateMemtable() {
+  Immutable imm;
+  imm.table = std::make_shared<Memtable>(std::move(memtable_));
+  imm.wal_blobs = std::move(wal_blobs_);
+  imm.wal_shadow_blobs = std::move(wal_shadow_blobs_);
+  memtable_ = Memtable{};
+  wal_blobs_.clear();
+  wal_shadow_blobs_.clear();
+  wal_blob_ = BlobAddr{};
+  wal_shadow_ = BlobAddr{};
+  wal_used_ = 0;
+  immutables_.push_back(std::move(imm));
+  MaybeStartFlush();
+}
+
+void KvDb::AllocatePlacement(SsTable& table) {
+  const uint32_t micro = 256 * 1024;
+  uint64_t need = table.data_bytes();
+  while (need > 0) {
+    auto primary = alloc_.AllocateMicro();
+    assert(primary && "blobstore out of space");
+    table.primary_blobs.push_back(*primary);
+    if (config_.replicate) {
+      auto shadow = alloc_.AllocateMicro(primary->backend);
+      if (shadow) table.shadow_blobs.push_back(*shadow);
+    }
+    need = need > micro ? need - micro : 0;
+  }
+}
+
+void KvDb::FreePlacement(const SsTable& table) {
+  // TRIM before returning the blobs to the allocator: the SSD's GC stops
+  // relocating the dead table data, which keeps write amplification down
+  // under compaction churn.
+  for (const auto& b : table.primary_blobs) {
+    blobs_.Trim(b);
+    alloc_.FreeMicro(b);
+  }
+  for (const auto& b : table.shadow_blobs) {
+    blobs_.Trim(b);
+    alloc_.FreeMicro(b);
+  }
+}
+
+void KvDb::WriteTables(
+    std::vector<std::pair<Key, Value>> entries,
+    std::function<void(std::vector<SsTableRef>)> install) {
+  auto outputs = std::make_shared<std::vector<SsTableRef>>();
+  // Chunk sorted entries into target-sized tables.
+  std::vector<std::pair<Key, Value>> chunk;
+  uint64_t chunk_bytes = 0;
+  auto flush_chunk = [&]() {
+    if (chunk.empty()) return;
+    auto table = std::make_shared<SsTable>(next_table_id_++, std::move(chunk));
+    AllocatePlacement(*table);
+    outputs->push_back(std::move(table));
+    chunk = {};
+    chunk_bytes = 0;
+  };
+  for (auto& e : entries) {
+    chunk_bytes += e.second.bytes + Memtable::kEntryOverhead;
+    chunk.push_back(std::move(e));
+    if (chunk_bytes >= config_.sstable_target_bytes) flush_chunk();
+  }
+  flush_chunk();
+
+  // Gather all blob writes and issue them with bounded parallelism.
+  struct WriteJob {
+    BlobAddr primary, shadow;
+  };
+  auto jobs = std::make_shared<std::vector<WriteJob>>();
+  for (const auto& t : *outputs) {
+    for (size_t i = 0; i < t->primary_blobs.size(); ++i) {
+      WriteJob j;
+      j.primary = t->primary_blobs[i];
+      j.shadow = i < t->shadow_blobs.size() ? t->shadow_blobs[i] : BlobAddr{};
+      stats_.compaction_write_bytes += j.primary.bytes;
+      jobs->push_back(j);
+    }
+  }
+  if (jobs->empty()) {
+    sim_.After(0, [outputs, install = std::move(install)]() {
+      install(*outputs);
+    });
+    return;
+  }
+  auto next = std::make_shared<size_t>(0);
+  auto inflight = std::make_shared<int>(0);
+  auto pump = std::make_shared<std::function<void()>>();
+  *pump = [this, jobs, next, inflight, outputs, install, pump]() {
+    while (*next < jobs->size() && *inflight < config_.compaction_io_depth) {
+      WriteJob j = (*jobs)[(*next)++];
+      ++*inflight;
+      blobs_.WriteReplicated(j.primary, j.shadow, config_.background_priority,
+                             [this, inflight, next, jobs, outputs, install,
+                              pump]() {
+                               --*inflight;
+                               if (*next >= jobs->size() && *inflight == 0) {
+                                 install(*outputs);
+                                 return;
+                               }
+                               (*pump)();
+                             });
+    }
+  };
+  (*pump)();
+}
+
+void KvDb::MaybeStartFlush() {
+  if (flush_active_ || immutables_.empty()) return;
+  flush_active_ = true;
+  ++stats_.flushes;
+  // Oldest immutable flushes first (ordering matters for recency).
+  std::shared_ptr<Memtable> imm = immutables_.front().table;
+  WriteTables(imm->Sorted(), [this](std::vector<SsTableRef> tables) {
+    for (auto& t : tables) levels_[0].push_back(t);
+    // WAL of the flushed memtable is obsolete: trim + free.
+    for (const auto& b : immutables_.front().wal_blobs) {
+      blobs_.Trim(b);
+      alloc_.FreeMicro(b);
+    }
+    for (const auto& b : immutables_.front().wal_shadow_blobs) {
+      blobs_.Trim(b);
+      alloc_.FreeMicro(b);
+    }
+    immutables_.pop_front();
+    flush_active_ = false;
+    DrainStalled();
+    MaybeStartFlush();
+    MaybeCompact();
+  });
+}
+
+void KvDb::DrainStalled() {
+  while (!stalled_.empty() &&
+         immutables_.size() < static_cast<size_t>(config_.max_immutables)) {
+    StalledPut p = std::move(stalled_.front());
+    stalled_.pop_front();
+    PutInternal(p.key, p.value, std::move(p.done));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Compaction
+// ---------------------------------------------------------------------------
+
+std::vector<std::pair<Key, Value>> KvDb::MergeInputs(
+    const std::vector<SsTableRef>& inputs, bool to_bottom) const {
+  // Collect (key, recency, value); newest wins.
+  struct Tagged {
+    Key key;
+    uint64_t recency;
+    Value value;
+  };
+  std::vector<Tagged> all;
+  for (const auto& t : inputs) {
+    for (const auto& [k, v] : t->entries()) {
+      all.push_back(Tagged{k, t->id(), v});
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Tagged& a, const Tagged& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.recency > b.recency;
+  });
+  std::vector<std::pair<Key, Value>> merged;
+  merged.reserve(all.size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (i > 0 && all[i].key == all[i - 1].key) continue;  // older version
+    if (to_bottom && all[i].value.tombstone) continue;    // drop tombstones
+    merged.emplace_back(all[i].key, all[i].value);
+  }
+  return merged;
+}
+
+void KvDb::MaybeCompact() {
+  if (compaction_active_) return;
+  if (levels_[0].size() >=
+      static_cast<size_t>(config_.l0_compaction_trigger)) {
+    CompactIntoNext(0);
+    return;
+  }
+  for (int l = 1; l + 1 < config_.levels; ++l) {
+    if (BytesAt(l) > LevelLimit(l)) {
+      CompactIntoNext(l);
+      return;
+    }
+  }
+}
+
+void KvDb::CompactIntoNext(int level) {
+  compaction_active_ = true;
+  ++stats_.compactions;
+  const int next_level = level + 1;
+
+  // Choose inputs: all of L0 (ranges overlap), or one file from Ln picked
+  // round-robin.
+  std::vector<SsTableRef> upper;
+  if (level == 0) {
+    upper = levels_[0];
+  } else {
+    auto& files = levels_[level];
+    upper.push_back(files[static_cast<size_t>(compact_cursor_) % files.size()]);
+    ++compact_cursor_;
+  }
+  Key lo = upper.front()->min_key(), hi = upper.front()->max_key();
+  for (const auto& t : upper) {
+    lo = std::min(lo, t->min_key());
+    hi = std::max(hi, t->max_key());
+  }
+  std::vector<SsTableRef> lower;
+  for (const auto& t : levels_[next_level]) {
+    if (t->max_key() >= lo && t->min_key() <= hi) lower.push_back(t);
+  }
+
+  std::vector<SsTableRef> inputs = upper;
+  inputs.insert(inputs.end(), lower.begin(), lower.end());
+
+  // Read every input blob (the merge scan), bounded parallelism, then
+  // write the merged outputs and swap the manifest.
+  auto addrs = std::make_shared<std::vector<std::pair<BlobAddr, BlobAddr>>>();
+  for (const auto& t : inputs) {
+    for (size_t i = 0; i < t->primary_blobs.size(); ++i) {
+      BlobAddr s =
+          i < t->shadow_blobs.size() ? t->shadow_blobs[i] : BlobAddr{};
+      addrs->emplace_back(t->primary_blobs[i], s);
+      stats_.compaction_read_bytes += t->primary_blobs[i].bytes;
+    }
+  }
+  bool to_bottom = next_level == config_.levels - 1;
+  auto finish_reads = [this, inputs, upper, lower, level, next_level,
+                       to_bottom]() {
+    std::vector<std::pair<Key, Value>> merged = MergeInputs(inputs, to_bottom);
+    if (merged.empty()) {
+      // Everything was tombstones: just drop the inputs.
+      for (const auto& t : upper) FreePlacement(*t);
+      for (const auto& t : lower) FreePlacement(*t);
+      auto gone = [&](const SsTableRef& t) {
+        for (const auto& u : upper) {
+          if (u == t) return true;
+        }
+        for (const auto& d : lower) {
+          if (d == t) return true;
+        }
+        return false;
+      };
+      auto& up = levels_[level];
+      up.erase(std::remove_if(up.begin(), up.end(), gone), up.end());
+      auto& down = levels_[next_level];
+      down.erase(std::remove_if(down.begin(), down.end(), gone), down.end());
+      compaction_active_ = false;
+      MaybeCompact();
+      return;
+    }
+    WriteTables(std::move(merged), [this, upper, lower, level, next_level](
+                                       std::vector<SsTableRef> outputs) {
+      auto gone = [&](const SsTableRef& t) {
+        for (const auto& u : upper) {
+          if (u == t) return true;
+        }
+        for (const auto& d : lower) {
+          if (d == t) return true;
+        }
+        return false;
+      };
+      auto& up = levels_[level];
+      up.erase(std::remove_if(up.begin(), up.end(), gone), up.end());
+      auto& down = levels_[next_level];
+      down.erase(std::remove_if(down.begin(), down.end(), gone), down.end());
+      for (auto& t : outputs) down.push_back(t);
+      std::sort(down.begin(), down.end(),
+                [](const SsTableRef& a, const SsTableRef& b) {
+                  return a->min_key() < b->min_key();
+                });
+      for (const auto& t : upper) FreePlacement(*t);
+      for (const auto& t : lower) FreePlacement(*t);
+      compaction_active_ = false;
+      MaybeCompact();
+    });
+  };
+
+  if (addrs->empty()) {
+    sim_.After(0, finish_reads);
+    return;
+  }
+  auto next = std::make_shared<size_t>(0);
+  auto inflight = std::make_shared<int>(0);
+  auto pump = std::make_shared<std::function<void()>>();
+  *pump = [this, addrs, next, inflight, finish_reads, pump]() {
+    while (*next < addrs->size() && *inflight < config_.compaction_io_depth) {
+      auto [p, s] = (*addrs)[(*next)++];
+      ++*inflight;
+      blobs_.ReadBalanced(p, s, config_.background_priority,
+                          [addrs, next, inflight, finish_reads, pump]() {
+                            --*inflight;
+                            if (*next >= addrs->size() && *inflight == 0) {
+                              finish_reads();
+                              return;
+                            }
+                            (*pump)();
+                          });
+    }
+  };
+  (*pump)();
+}
+
+// ---------------------------------------------------------------------------
+// Read path
+// ---------------------------------------------------------------------------
+
+void KvDb::Get(Key key, GetDone done) {
+  ++stats_.gets;
+  auto shared_done = std::make_shared<GetDone>(std::move(done));
+  auto respond = [this, shared_done](bool found, Value v) {
+    if (found) ++stats_.gets_found;
+    sim_.After(0, [found, v, shared_done]() {
+      if (*shared_done) (*shared_done)(found, v);
+    });
+  };
+  // Memory hits: memtable, then immutables newest-first.
+  if (auto v = memtable_.Get(key)) {
+    ++stats_.memory_hits;
+    respond(!v->tombstone, *v);
+    return;
+  }
+  for (auto it = immutables_.rbegin(); it != immutables_.rend(); ++it) {
+    if (auto v = it->table->Get(key)) {
+      ++stats_.memory_hits;
+      respond(!v->tombstone, *v);
+      return;
+    }
+  }
+
+  // Candidate SSTables: L0 newest-first, then one file per deeper level.
+  auto candidates = std::make_shared<std::vector<SsTableRef>>();
+  for (auto it = levels_[0].rbegin(); it != levels_[0].rend(); ++it) {
+    if ((*it)->MayContain(key)) candidates->push_back(*it);
+  }
+  for (int l = 1; l < config_.levels; ++l) {
+    const auto& files = levels_[l];
+    auto it = std::lower_bound(files.begin(), files.end(), key,
+                               [](const SsTableRef& t, Key k) {
+                                 return t->max_key() < k;
+                               });
+    if (it != files.end() && (*it)->MayContain(key)) {
+      candidates->push_back(*it);
+    }
+  }
+  if (candidates->empty()) {
+    respond(false, Value{});
+    return;
+  }
+
+  // Probe candidates in recency order; each probe costs one data-block IO.
+  auto probe = std::make_shared<std::function<void(size_t)>>();
+  *probe = [this, candidates, probe, respond, key](size_t i) {
+    if (i >= candidates->size()) {
+      respond(false, Value{});
+      return;
+    }
+    SsTableRef t = (*candidates)[i];
+    uint64_t off = t->BlockOffsetOf(key);
+    auto [p, s] = t->BlobForOffset(off, 4096);
+    ++stats_.data_block_reads;
+    blobs_.ReadBalanced(p, s, config_.read_priority,
+                        [t, key, probe, i, respond]() {
+                          auto v = t->Lookup(key);
+                          if (v) {
+                            respond(!v->tombstone,
+                                    v->tombstone ? Value{} : *v);
+                            return;
+                          }
+                          (*probe)(i + 1);  // bloom false positive
+                        });
+  };
+  (*probe)(0);
+}
+
+void KvDb::Scan(Key start, uint32_t count, ScanDone done) {
+  ++stats_.scans;
+  // Merge the live view of [start, ...): newest source wins per key.
+  // Memtable recency > immutables (newest-first) > tables by id.
+  std::map<Key, std::pair<uint64_t, Value>> merged;  // key -> (recency, v)
+  auto offer = [&](Key k, uint64_t recency, const Value& v) {
+    auto it = merged.find(k);
+    if (it == merged.end() || it->second.first < recency) {
+      merged[k] = {recency, v};
+    }
+  };
+  constexpr uint64_t kMemRecency = UINT64_MAX;
+  {
+    auto snap = memtable_.Sorted();
+    auto it = std::lower_bound(
+        snap.begin(), snap.end(), start,
+        [](const auto& e, Key k) { return e.first < k; });
+    for (uint32_t n = 0; it != snap.end() && n < count; ++it, ++n) {
+      offer(it->first, kMemRecency, it->second);
+    }
+  }
+  uint64_t imm_recency = kMemRecency - 1;
+  for (auto imm = immutables_.rbegin(); imm != immutables_.rend(); ++imm) {
+    auto snap = imm->table->Sorted();
+    auto it = std::lower_bound(
+        snap.begin(), snap.end(), start,
+        [](const auto& e, Key k) { return e.first < k; });
+    for (uint32_t n = 0; it != snap.end() && n < count; ++it, ++n) {
+      offer(it->first, imm_recency, it->second);
+    }
+    --imm_recency;
+  }
+
+  // Overlapping SSTables contribute entries and cost IO proportional to
+  // the bytes scanned in each.
+  uint32_t block_reads = 0;
+  std::vector<std::pair<BlobAddr, BlobAddr>> ios;
+  for (int l = 0; l < config_.levels; ++l) {
+    for (const auto& t : levels_[l]) {
+      if (t->max_key() < start) continue;
+      const auto& entries = t->entries();
+      auto it = std::lower_bound(
+          entries.begin(), entries.end(), start,
+          [](const auto& e, Key k) { return e.first < k; });
+      if (it == entries.end()) continue;
+      uint64_t touched = 0;
+      for (uint32_t n = 0; it != entries.end() && n < count; ++it, ++n) {
+        offer(it->first, t->id(), it->second);
+        touched += it->second.bytes + Memtable::kEntryOverhead;
+      }
+      // One 256 KiB streaming read per touched chunk.
+      uint64_t off = t->BlockOffsetOf(start);
+      for (uint64_t done_bytes = 0; done_bytes < touched;
+           done_bytes += 256 * 1024) {
+        auto [p, s] = t->BlobForOffset(
+            std::min<uint64_t>(off + done_bytes,
+                               t->data_bytes() > 0 ? t->data_bytes() - 1 : 0),
+            static_cast<uint32_t>(
+                std::min<uint64_t>(256 * 1024, touched - done_bytes)));
+        ios.emplace_back(p, s);
+        ++block_reads;
+      }
+    }
+  }
+  stats_.scan_block_reads += block_reads;
+
+  // Assemble results: first `count` live keys.
+  auto results = std::make_shared<std::vector<std::pair<Key, Value>>>();
+  for (const auto& [k, rv] : merged) {
+    if (rv.second.tombstone) continue;
+    results->push_back({k, rv.second});
+    if (results->size() >= count) break;
+  }
+
+  auto shared_done = std::make_shared<ScanDone>(std::move(done));
+  if (ios.empty()) {
+    sim_.After(0, [results, shared_done]() {
+      if (*shared_done) (*shared_done)(std::move(*results));
+    });
+    return;
+  }
+  auto remaining = std::make_shared<size_t>(ios.size());
+  for (auto& [p, s] : ios) {
+    blobs_.ReadBalanced(p, s, config_.read_priority,
+                        [remaining, results, shared_done]() {
+                          if (--*remaining > 0) return;
+                          if (*shared_done) (*shared_done)(std::move(*results));
+                        });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bulk load
+// ---------------------------------------------------------------------------
+
+void KvDb::BulkLoad(uint64_t keys, uint32_t value_bytes) {
+  std::vector<std::pair<Key, Value>> chunk;
+  uint64_t chunk_bytes = 0;
+  int bottom = config_.levels - 1;
+  for (uint64_t k = 0; k < keys; ++k) {
+    chunk.emplace_back(k, Value{value_bytes, 0, false});
+    chunk_bytes += value_bytes + Memtable::kEntryOverhead;
+    if (chunk_bytes >= config_.sstable_target_bytes || k + 1 == keys) {
+      auto table =
+          std::make_shared<SsTable>(next_table_id_++, std::move(chunk));
+      AllocatePlacement(*table);
+      levels_[static_cast<size_t>(bottom)].push_back(table);
+      chunk = {};
+      chunk_bytes = 0;
+    }
+  }
+}
+
+}  // namespace gimbal::kv

@@ -1,0 +1,159 @@
+// LSM-tree key-value store over the blobstore — the RocksDB stand-in of
+// the paper's case study (§4.3, Appendix E).
+//
+// Write path: WAL append (group-committed, replicated) + memtable insert;
+// full memtables rotate to an immutable list and flush to L0 SSTables.
+// Background leveled compaction merges L0 into L1 and size-triggered
+// levels below. Read path: memtable -> immutables -> L0 (newest first) ->
+// L1..Ln, bloom-filtered, one data-block read per probed table, with
+// replica load balancing by virtual-view credits.
+//
+// IO priorities exercise Gimbal's per-tenant priority queues (§3.5):
+// point reads are latency-sensitive (high), WAL writes normal, and
+// flush/compaction traffic low.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "kv/blobstore.h"
+#include "kv/hba.h"
+#include "kv/memtable.h"
+#include "kv/sstable.h"
+#include "sim/simulator.h"
+
+namespace gimbal::kv {
+
+struct KvDbConfig {
+  uint64_t memtable_bytes = 4ull << 20;
+  uint64_t sstable_target_bytes = 4ull << 20;
+  int l0_compaction_trigger = 4;
+  uint64_t level1_bytes = 32ull << 20;
+  double level_multiplier = 10.0;
+  int levels = 4;               // L0..L3
+  int max_immutables = 2;       // write-stall threshold
+  int compaction_io_depth = 4;  // parallel 256K IOs per compaction
+  bool wal = true;
+  bool replicate = true;
+  IoPriority read_priority = IoPriority::kHigh;
+  IoPriority wal_priority = IoPriority::kNormal;
+  IoPriority background_priority = IoPriority::kLow;
+};
+
+class KvDb {
+ public:
+  using PutDone = std::function<void()>;
+  using GetDone = std::function<void(bool found, Value value)>;
+
+  KvDb(sim::Simulator& sim, Blobstore& blobs, LocalBlobAllocator& alloc,
+       KvDbConfig config = {});
+
+  // Asynchronous point operations. Callbacks fire in simulated time once
+  // the op is durable (Put/Delete: WAL committed) or resolved (Get).
+  void Put(Key key, uint32_t value_bytes, uint64_t stamp, PutDone done);
+  void Delete(Key key, PutDone done);
+  void Get(Key key, GetDone done);
+
+  // Range scan: up to `count` live records with key >= start, in key
+  // order (YCSB-E style). Pays one data-block read per 256 KiB of data
+  // touched in every overlapping SSTable.
+  using ScanDone =
+      std::function<void(std::vector<std::pair<Key, Value>> results)>;
+  void Scan(Key start, uint32_t count, ScanDone done);
+
+  // Synchronously install `keys` records (0..keys-1) into the bottom
+  // level with blob placement but no simulated IO — the YCSB load phase,
+  // analogous to device preconditioning.
+  void BulkLoad(uint64_t keys, uint32_t value_bytes);
+
+  struct Stats {
+    uint64_t puts = 0;
+    uint64_t deletes = 0;
+    uint64_t gets = 0;
+    uint64_t gets_found = 0;
+    uint64_t scans = 0;
+    uint64_t scan_block_reads = 0;
+    uint64_t data_block_reads = 0;  // SSTable probes that cost IO
+    uint64_t memory_hits = 0;       // served from memtable/immutables
+    uint64_t wal_writes = 0;
+    uint64_t flushes = 0;
+    uint64_t compactions = 0;
+    uint64_t compaction_read_bytes = 0;
+    uint64_t compaction_write_bytes = 0;
+    uint64_t write_stalls = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Introspection for tests.
+  size_t FilesAt(int level) const { return levels_[level].size(); }
+  uint64_t BytesAt(int level) const;
+  uint64_t memtable_bytes() const { return memtable_.bytes(); }
+  size_t immutable_count() const { return immutables_.size(); }
+  bool flush_active() const { return flush_active_; }
+  bool compaction_active() const { return compaction_active_; }
+  const KvDbConfig& config() const { return config_; }
+
+ private:
+  struct Immutable {
+    std::shared_ptr<Memtable> table;
+    std::vector<BlobAddr> wal_blobs;  // primary WAL blobs to free on flush
+    std::vector<BlobAddr> wal_shadow_blobs;
+  };
+  struct StalledPut {
+    Key key;
+    Value value;
+    PutDone done;
+  };
+
+  void PutInternal(Key key, const Value& value, PutDone done);
+  void AppendWal(uint32_t bytes, PutDone done);
+  void MaybeFlushWal();
+  bool EnsureWalSpace(uint32_t bytes);
+  void RotateMemtable();
+  void MaybeStartFlush();
+  void MaybeCompact();
+  void CompactIntoNext(int level);
+  // Merge inputs (newest table wins per key); drop tombstones when
+  // `to_bottom` (nothing below can hold older versions).
+  std::vector<std::pair<Key, Value>> MergeInputs(
+      const std::vector<SsTableRef>& inputs, bool to_bottom) const;
+  // Build output tables from merged entries, allocate + write their blobs
+  // (priority low), then `install`.
+  void WriteTables(std::vector<std::pair<Key, Value>> entries,
+                   std::function<void(std::vector<SsTableRef>)> install);
+  void AllocatePlacement(SsTable& table);
+  void FreePlacement(const SsTable& table);
+  uint64_t LevelLimit(int level) const;
+  void DrainStalled();
+
+  sim::Simulator& sim_;
+  Blobstore& blobs_;
+  LocalBlobAllocator& alloc_;
+  KvDbConfig config_;
+
+  Memtable memtable_;
+  std::deque<Immutable> immutables_;
+  std::vector<std::vector<SsTableRef>> levels_;
+  std::deque<StalledPut> stalled_;
+
+  // WAL group commit state.
+  uint64_t wal_batch_bytes_ = 0;
+  std::vector<PutDone> wal_batch_waiters_;
+  bool wal_inflight_ = false;
+  BlobAddr wal_blob_;
+  BlobAddr wal_shadow_;
+  uint64_t wal_used_ = 0;  // bytes consumed in the current WAL blob
+  std::vector<BlobAddr> wal_blobs_;  // blobs of the active memtable's WAL
+  std::vector<BlobAddr> wal_shadow_blobs_;
+
+  bool flush_active_ = false;
+  bool compaction_active_ = false;
+  uint64_t next_table_id_ = 1;
+  int compact_cursor_ = 0;
+  Stats stats_;
+};
+
+}  // namespace gimbal::kv

@@ -1,0 +1,47 @@
+// In-memory write buffer of the LSM tree (RocksDB's memtable, Appendix E).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "kv/types.h"
+
+namespace gimbal::kv {
+
+class Memtable {
+ public:
+  // Approximate bytes a stored entry occupies on flush (key + metadata).
+  static constexpr uint32_t kEntryOverhead = 16;
+
+  void Put(Key key, const Value& value) {
+    auto [it, inserted] = entries_.insert_or_assign(key, value);
+    (void)it;
+    if (inserted) {
+      bytes_ += value.bytes + kEntryOverhead;
+    }  // overwrite: size delta is negligible for fixed-size YCSB values
+  }
+
+  std::optional<Value> Get(Key key) const {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  uint64_t bytes() const { return bytes_; }
+  uint64_t count() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  // Sorted snapshot for flushing into an SSTable.
+  std::vector<std::pair<Key, Value>> Sorted() const {
+    return {entries_.begin(), entries_.end()};
+  }
+
+ private:
+  std::map<Key, Value> entries_;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace gimbal::kv

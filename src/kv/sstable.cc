@@ -1,0 +1,75 @@
+#include "kv/sstable.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gimbal::kv {
+
+SsTable::SsTable(uint64_t id, std::vector<std::pair<Key, Value>> entries,
+                 uint32_t entry_overhead)
+    : id_(id), entries_(std::move(entries)), bloom_(entries_.size()) {
+  assert(!entries_.empty());
+  assert(std::is_sorted(entries_.begin(), entries_.end(),
+                        [](const auto& a, const auto& b) {
+                          return a.first < b.first;
+                        }));
+  data_bytes_ = 0;
+  for (const auto& [k, v] : entries_) {
+    bloom_.Add(k);
+    data_bytes_ += v.bytes + entry_overhead;
+  }
+  bytes_per_entry_ =
+      static_cast<double>(data_bytes_) / static_cast<double>(entries_.size());
+}
+
+std::optional<Value> SsTable::Lookup(Key key) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const auto& e, Key k) { return e.first < k; });
+  if (it == entries_.end() || it->first != key) return std::nullopt;
+  return it->second;
+}
+
+uint64_t SsTable::BlockOffsetOf(Key key) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const auto& e, Key k) { return e.first < k; });
+  uint64_t rank = static_cast<uint64_t>(it - entries_.begin());
+  if (rank >= entries_.size()) rank = entries_.size() - 1;
+  uint64_t offset =
+      static_cast<uint64_t>(static_cast<double>(rank) * bytes_per_entry_);
+  // Align down to the 4 KiB data-block grid.
+  return offset & ~uint64_t{4095};
+}
+
+std::pair<BlobAddr, BlobAddr> SsTable::BlobForOffset(
+    uint64_t file_offset, uint32_t read_bytes) const {
+  assert(!primary_blobs.empty() && "table has no placement");
+  uint64_t remaining = file_offset;
+  for (size_t i = 0; i < primary_blobs.size(); ++i) {
+    if (remaining < primary_blobs[i].bytes) {
+      BlobAddr p = primary_blobs[i];
+      p.offset += remaining;
+      p.bytes = read_bytes;
+      BlobAddr s;
+      if (i < shadow_blobs.size()) {
+        s = shadow_blobs[i];
+        s.offset += remaining;
+        s.bytes = read_bytes;
+      }
+      return {p, s};
+    }
+    remaining -= primary_blobs[i].bytes;
+  }
+  // Offset beyond placement (estimation edge): read the last blob's tail.
+  BlobAddr p = primary_blobs.back();
+  p.bytes = read_bytes;
+  BlobAddr s;
+  if (!shadow_blobs.empty()) {
+    s = shadow_blobs.back();
+    s.bytes = read_bytes;
+  }
+  return {p, s};
+}
+
+}  // namespace gimbal::kv

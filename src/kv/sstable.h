@@ -1,0 +1,73 @@
+// Immutable sorted-string table (Appendix E).
+//
+// Entries are kept in host memory (the simulator moves timing, not bytes);
+// the table knows its blob placement so lookups issue the same data-block
+// IO a real SSTable read would: one page-sized read of the block that
+// holds the key's rank. Bloom filters are in-memory, as RocksDB caches
+// filter blocks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "kv/bloom.h"
+#include "kv/types.h"
+
+namespace gimbal::kv {
+
+class SsTable {
+ public:
+  // `id` orders tables by recency (higher = newer data wins in merges).
+  SsTable(uint64_t id, std::vector<std::pair<Key, Value>> entries,
+          uint32_t entry_overhead = 16);
+
+  uint64_t id() const { return id_; }
+  Key min_key() const { return entries_.front().first; }
+  Key max_key() const { return entries_.back().first; }
+  uint64_t count() const { return entries_.size(); }
+  uint64_t data_bytes() const { return data_bytes_; }
+
+  bool KeyInRange(Key key) const {
+    return key >= min_key() && key <= max_key();
+  }
+  // Bloom + range check: false means the key is definitely absent.
+  bool MayContain(Key key) const {
+    return KeyInRange(key) && bloom_.MayContain(key);
+  }
+
+  // Ground-truth lookup (what the data block read would deserialize).
+  std::optional<Value> Lookup(Key key) const;
+
+  // Byte offset of the data block containing `key`'s rank — which blob in
+  // the placement list a point read must touch.
+  uint64_t BlockOffsetOf(Key key) const;
+
+  const std::vector<std::pair<Key, Value>>& entries() const {
+    return entries_;
+  }
+
+  // Blob placement, set by the DB after allocation. Parallel lists: chunk
+  // i of the file lives at primary_blobs[i] (and shadow_blobs[i] when
+  // replicated).
+  std::vector<BlobAddr> primary_blobs;
+  std::vector<BlobAddr> shadow_blobs;
+
+  // Map a file-relative offset to the blob (pair of replicas) holding it.
+  // Returns {primary, shadow}; shadow is invalid when unreplicated.
+  std::pair<BlobAddr, BlobAddr> BlobForOffset(uint64_t file_offset,
+                                              uint32_t read_bytes) const;
+
+ private:
+  uint64_t id_;
+  std::vector<std::pair<Key, Value>> entries_;
+  uint64_t data_bytes_;
+  double bytes_per_entry_;
+  BloomFilter bloom_;
+};
+
+using SsTableRef = std::shared_ptr<SsTable>;
+
+}  // namespace gimbal::kv

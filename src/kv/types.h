@@ -1,0 +1,33 @@
+// Vocabulary types for the LSM key-value store and blobstore.
+//
+// Values carry their byte size and a version stamp instead of a payload:
+// the simulator models IO timing, not data movement, and 24 instances x
+// 100K x 1 KiB of real bytes would only burn host memory. The stamp lets
+// tests verify read-your-writes semantics exactly.
+#pragma once
+
+#include <cstdint>
+
+namespace gimbal::kv {
+
+using Key = uint64_t;
+
+struct Value {
+  uint32_t bytes = 0;   // logical payload size (drives IO sizes)
+  uint64_t stamp = 0;   // version for correctness checks
+  bool tombstone = false;
+
+  bool operator==(const Value&) const = default;
+};
+
+// Address of one contiguous blob on one remote backend SSD.
+struct BlobAddr {
+  int backend = -1;
+  uint64_t offset = 0;
+  uint32_t bytes = 0;
+
+  bool valid() const { return backend >= 0; }
+  bool operator==(const BlobAddr&) const = default;
+};
+
+}  // namespace gimbal::kv

@@ -1,0 +1,61 @@
+// NVMe / NVMe-oF vocabulary types shared by the fabric, the switch and the
+// SSD model. Offsets and lengths are in bytes and must be 4 KiB aligned
+// (the device's logical page size).
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace gimbal {
+
+using TenantId = uint32_t;
+
+enum class IoType : uint8_t { kRead = 0, kWrite = 1 };
+
+constexpr const char* ToString(IoType t) {
+  return t == IoType::kRead ? "read" : "write";
+}
+
+// Maximum data transfer size of one NVMe-oF command (the paper's "de facto
+// maximum IO size", which sizes Gimbal's virtual slot). Initiators split
+// larger application IOs into chained commands, as real stacks do per the
+// controller's MDTS.
+constexpr uint32_t kMaxTransferBytes = 128 * 1024;
+
+// Writes up to this size inline their payload into the command capsule
+// (§2.1: "some NVMe-oF implementations allow inlining small data blocks
+// (e.g., 4KB) into the capsule, reducing the number of RDMA messages and
+// improving the IO latency"). Initiator and target agree on the constant.
+constexpr uint32_t kInlineWriteBytes = 4096;
+
+// Priority classes a client can tag onto an NVMe-oF request (§3.5,
+// "per-tenant priority queues"). Lower value = higher priority.
+enum class IoPriority : uint8_t { kHigh = 0, kNormal = 1, kLow = 2 };
+constexpr int kNumPriorities = 3;
+
+// An IO as the switch/scheduler sees it: one NVMe command from one tenant.
+struct IoRequest {
+  uint64_t id = 0;                // unique per fabric connection
+  TenantId tenant = 0;
+  IoType type = IoType::kRead;
+  uint64_t offset = 0;            // bytes, 4 KiB aligned
+  uint32_t length = 0;            // bytes, 4 KiB multiple
+  IoPriority priority = IoPriority::kNormal;
+  Tick client_submit = 0;         // when the client issued it
+  Tick target_arrival = 0;        // when the target ingress saw it
+};
+
+// Completion information travelling back up the stack.
+struct IoCompletion {
+  uint64_t id = 0;
+  TenantId tenant = 0;
+  IoType type = IoType::kRead;
+  uint32_t length = 0;
+  bool ok = true;
+  Tick device_latency = 0;   // SSD submit -> SSD complete (switch viewpoint)
+  Tick target_latency = 0;   // target arrival -> completion sent
+  uint32_t credit = 0;       // piggybacked Gimbal credit (§3.6); 0 if unused
+};
+
+}  // namespace gimbal

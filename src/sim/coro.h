@@ -1,0 +1,106 @@
+// Minimal C++20 coroutine support for writing sequential-looking logic
+// (the key-value store, examples) on top of the event-driven simulator.
+//
+// `Task` is an eager fire-and-forget coroutine: it starts running when
+// created and suspends whenever it awaits a `Delay` or an `AsyncEvent`.
+// Because the simulator is single-threaded there is no synchronization.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace gimbal::sim {
+
+// Fire-and-forget coroutine handle. The coroutine owns its own frame and
+// destroys it at final_suspend; Task is just a started marker.
+struct Task {
+  struct promise_type {
+    Task get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+};
+
+// co_await Delay{sim, ticks}: resume after `ticks` of simulated time.
+struct Delay {
+  Simulator& sim;
+  Tick ticks;
+
+  bool await_ready() const noexcept { return ticks <= 0; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    sim.After(ticks, [h]() { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+};
+
+// A one-shot event carrying a value of type T. A coroutine co_awaits it;
+// a callback elsewhere Sets it (at most once), which resumes the waiter.
+// Multiple waiters are supported; they resume in registration order.
+template <typename T>
+class AsyncEvent {
+ public:
+  explicit AsyncEvent(Simulator& sim) : sim_(sim) {}
+
+  void Set(T value) {
+    value_ = std::move(value);
+    ready_ = true;
+    auto waiters = std::move(waiters_);
+    waiters_.clear();
+    for (auto h : waiters) sim_.After(0, [h]() { h.resume(); });
+  }
+
+  bool ready() const { return ready_; }
+  const T& value() const { return value_; }
+
+  struct Awaiter {
+    AsyncEvent& ev;
+    bool await_ready() const noexcept { return ev.ready_; }
+    void await_suspend(std::coroutine_handle<> h) { ev.waiters_.push_back(h); }
+    const T& await_resume() const noexcept { return ev.value_; }
+  };
+
+  Awaiter operator co_await() { return Awaiter{*this}; }
+
+ private:
+  Simulator& sim_;
+  std::vector<std::coroutine_handle<>> waiters_;
+  T value_{};
+  bool ready_ = false;
+};
+
+// Counting latch for fan-out/fan-in: arm with N, co_await until N arrivals.
+class AsyncLatch {
+ public:
+  AsyncLatch(Simulator& sim, int count) : sim_(sim), remaining_(count) {}
+
+  void CountDown() {
+    if (--remaining_ == 0) {
+      auto waiters = std::move(waiters_);
+      waiters_.clear();
+      for (auto h : waiters) sim_.After(0, [h]() { h.resume(); });
+    }
+  }
+
+  struct Awaiter {
+    AsyncLatch& latch;
+    bool await_ready() const noexcept { return latch.remaining_ <= 0; }
+    void await_suspend(std::coroutine_handle<> h) {
+      latch.waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+  Awaiter operator co_await() { return Awaiter{*this}; }
+
+ private:
+  Simulator& sim_;
+  int remaining_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace gimbal::sim

@@ -1,0 +1,57 @@
+// Priority queue of timed events for the discrete-event simulator.
+//
+// Events fire in (time, insertion-order) order so the simulation is fully
+// deterministic even when many events share a timestamp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/time.h"
+
+namespace gimbal::sim {
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  void Push(Tick when, EventFn fn) {
+    heap_.push_back(Event{when, next_seq_++, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), Later);
+  }
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+  Tick next_time() const { return heap_.front().when; }
+
+  // Removes and returns the earliest event's callback; sets *when.
+  EventFn Pop(Tick* when) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later);
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    *when = ev.when;
+    return std::move(ev.fn);
+  }
+
+  void Clear() { heap_.clear(); }
+
+ private:
+  struct Event {
+    Tick when;
+    uint64_t seq;
+    EventFn fn;
+  };
+  // Max-heap comparator inverted: "a fires later than b".
+  static bool Later(const Event& a, const Event& b) {
+    if (a.when != b.when) return a.when > b.when;
+    return a.seq > b.seq;
+  }
+
+  std::vector<Event> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace gimbal::sim

@@ -1,0 +1,173 @@
+#include "ssd/ftl.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace gimbal::ssd {
+
+Ftl::Ftl(const SsdConfig& config) : config_(config) {
+  const uint32_t blocks = config_.physical_blocks();
+  const uint32_t pages = blocks * config_.pages_per_block;
+  l2p_.assign(config_.logical_pages(), kInvalidPage);
+  p2l_.assign(pages, kInvalidPage);
+  valid_count_.assign(blocks, 0);
+  write_ptr_.assign(blocks, 0);
+  erase_count_.assign(blocks, 0);
+  free_blocks_.resize(config_.dies());
+  open_block_.assign(config_.dies(), -1);
+  // Block b lives on die b % dies; hand every block to its die's free list.
+  for (uint32_t b = 0; b < blocks; ++b) {
+    free_blocks_[DieOfBlock(b)].push_back(b);
+  }
+}
+
+bool Ftl::CanAllocate(int die) const {
+  if (open_block_[die] >= 0 &&
+      write_ptr_[open_block_[die]] < config_.pages_per_block) {
+    return true;
+  }
+  return !free_blocks_[die].empty();
+}
+
+void Ftl::OpenNewBlock(int die) {
+  auto& free = free_blocks_[die];
+  assert(!free.empty() && "die out of free blocks");
+  // Dynamic wear levelling: pick the free block with the lowest erase count.
+  size_t best = 0;
+  for (size_t i = 1; i < free.size(); ++i) {
+    if (erase_count_[free[i]] < erase_count_[free[best]]) best = i;
+  }
+  uint32_t block = free[best];
+  free[best] = free.back();
+  free.pop_back();
+  open_block_[die] = static_cast<int32_t>(block);
+  assert(write_ptr_[block] == 0);
+}
+
+void Ftl::Invalidate(Lpn lpn) {
+  Ppn old = l2p_[lpn];
+  if (old == kInvalidPage) return;
+  uint32_t block = BlockOf(old);
+  assert(valid_count_[block] > 0);
+  --valid_count_[block];
+  p2l_[old] = kInvalidPage;
+}
+
+Ppn Ftl::AllocateOnDie(Lpn lpn, int die) {
+  assert(lpn < l2p_.size());
+  if (open_block_[die] < 0 ||
+      write_ptr_[open_block_[die]] >= config_.pages_per_block) {
+    OpenNewBlock(die);
+  }
+  Invalidate(lpn);
+  uint32_t block = static_cast<uint32_t>(open_block_[die]);
+  uint16_t off = write_ptr_[block]++;
+  Ppn ppn = block * config_.pages_per_block + off;
+  l2p_[lpn] = ppn;
+  p2l_[ppn] = lpn;
+  ++valid_count_[block];
+  if (allocating_for_gc_) {
+    ++stats_.gc_pages_relocated;
+  } else {
+    ++stats_.host_pages_written;
+  }
+  return ppn;
+}
+
+int Ftl::SelectGcVictim(int die) const {
+  int best = -1;
+  uint16_t best_valid = UINT16_MAX;
+  const uint32_t dies = static_cast<uint32_t>(config_.dies());
+  for (uint32_t b = static_cast<uint32_t>(die); b < valid_count_.size();
+       b += dies) {
+    if (static_cast<int32_t>(b) == open_block_[die]) continue;
+    if (write_ptr_[b] < config_.pages_per_block) continue;  // not full
+    if (valid_count_[b] < best_valid) {
+      best_valid = valid_count_[b];
+      best = static_cast<int>(b);
+      if (best_valid == 0) break;  // cannot do better
+    }
+  }
+  return best;
+}
+
+std::vector<Lpn> Ftl::CollectValid(uint32_t block) const {
+  std::vector<Lpn> out;
+  out.reserve(valid_count_[block]);
+  Ppn base = block * config_.pages_per_block;
+  for (uint32_t i = 0; i < config_.pages_per_block; ++i) {
+    if (p2l_[base + i] != kInvalidPage) out.push_back(p2l_[base + i]);
+  }
+  return out;
+}
+
+void Ftl::EraseBlock(uint32_t block) {
+  assert(valid_count_[block] == 0);
+  assert(write_ptr_[block] == config_.pages_per_block &&
+         "erasing a partially written block");
+  Ppn base = block * config_.pages_per_block;
+  for (uint32_t i = 0; i < config_.pages_per_block; ++i) {
+    p2l_[base + i] = kInvalidPage;
+  }
+  write_ptr_[block] = 0;
+  ++erase_count_[block];
+  ++stats_.blocks_erased;
+  free_blocks_[DieOfBlock(block)].push_back(block);
+}
+
+void Ftl::GcSynchronous(int die) {
+  while (!GcSatisfied(die)) {
+    int victim = SelectGcVictim(die);
+    if (victim < 0) return;  // nothing reclaimable
+    if (valid_count_[victim] >= config_.pages_per_block) {
+      // Every candidate is fully valid: relocation cannot gain space on
+      // this die (it is packed solid). Bail out rather than livelock.
+      return;
+    }
+    BeginGcAllocation();
+    for (Lpn lpn : CollectValid(static_cast<uint32_t>(victim))) {
+      AllocateOnDie(lpn, die);
+    }
+    EndGcAllocation();
+    EraseBlock(static_cast<uint32_t>(victim));
+  }
+}
+
+int Ftl::NextWriteDie() {
+  if (write_die_budget_ == 0) {
+    write_die_cursor_ = (write_die_cursor_ + 1) % config_.dies();
+    write_die_budget_ = config_.program_unit_pages;
+  }
+  --write_die_budget_;
+  return write_die_cursor_;
+}
+
+void Ftl::PreconditionSequential() {
+  const uint32_t pages = config_.logical_pages();
+  for (Lpn lpn = 0; lpn < pages; ++lpn) {
+    int die = NextWriteDie();
+    if (!CanAllocate(die) || NeedsGc(die)) GcSynchronous(die);
+    AllocateOnDie(lpn, die);
+  }
+  // Preconditioning is device state, not workload history.
+  stats_ = Stats{};
+}
+
+void Ftl::PreconditionRandom(double overwrite_factor, uint64_t seed) {
+  PreconditionSequential();
+  Rng rng(seed);
+  const uint32_t pages = config_.logical_pages();
+  const uint64_t total =
+      static_cast<uint64_t>(overwrite_factor * static_cast<double>(pages));
+  for (uint64_t i = 0; i < total; ++i) {
+    Lpn lpn = static_cast<Lpn>(rng.NextBounded(pages));
+    int die = NextWriteDie();
+    if (!CanAllocate(die) || NeedsGc(die)) GcSynchronous(die);
+    AllocateOnDie(lpn, die);
+  }
+  stats_ = Stats{};
+}
+
+}  // namespace gimbal::ssd

@@ -1,0 +1,138 @@
+// Flash translation layer: page-level logical-to-physical mapping, per-die
+// block allocation, greedy garbage-collection victim selection, and dynamic
+// wear levelling.
+//
+// The FTL is a *pure state machine* — it never touches the simulator clock.
+// The timed Ssd device charges NAND time for the operations the FTL
+// reports, and the preconditioning helpers drive the same state machine
+// synchronously (so "fragment this SSD" takes milliseconds of wall time,
+// not minutes of simulated events).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ssd/config.h"
+
+namespace gimbal::ssd {
+
+// Physical page number: block * pages_per_block + offset_in_block.
+using Ppn = uint32_t;
+using Lpn = uint32_t;
+constexpr uint32_t kInvalidPage = UINT32_MAX;
+
+class Ftl {
+ public:
+  explicit Ftl(const SsdConfig& config);
+
+  // --- Address translation -------------------------------------------------
+  // Returns the physical page backing `lpn`, or kInvalidPage if never
+  // written (reads of unwritten space are serviced as zeroes).
+  Ppn Translate(Lpn lpn) const { return l2p_[lpn]; }
+
+  int DieOfBlock(uint32_t block) const {
+    return static_cast<int>(block % static_cast<uint32_t>(config_.dies()));
+  }
+  int DieOfPpn(Ppn ppn) const { return DieOfBlock(BlockOf(ppn)); }
+  uint32_t BlockOf(Ppn ppn) const { return ppn / config_.pages_per_block; }
+
+  // --- Writes --------------------------------------------------------------
+  // Map `lpn` to the next free page of `die`'s open block, invalidating any
+  // previous mapping. Opens a new block (wear-levelled pick from the die's
+  // free list) when the current one fills. Requires CanAllocate(die).
+  Ppn AllocateOnDie(Lpn lpn, int die);
+
+  // True if the die has an open page or at least one free block.
+  bool CanAllocate(int die) const;
+
+  // Free blocks currently available on `die` (open block excluded).
+  int FreeBlocks(int die) const { return static_cast<int>(free_blocks_[die].size()); }
+
+  // Drop the mapping of `lpn` (NVMe deallocate / TRIM): its physical copy
+  // becomes stale immediately, so GC never has to relocate it.
+  void Trim(Lpn lpn) {
+    Invalidate(lpn);
+    l2p_[lpn] = kInvalidPage;
+  }
+
+  // --- Garbage collection ---------------------------------------------------
+  bool NeedsGc(int die) const {
+    return FreeBlocks(die) < config_.gc_low_watermark;
+  }
+  bool GcSatisfied(int die) const {
+    return FreeBlocks(die) >= config_.gc_high_watermark;
+  }
+  // Host-visible allocation must keep a reserve so GC can always proceed.
+  bool HostWriteAllowed(int die) const {
+    return FreeBlocks(die) > config_.host_write_reserve;
+  }
+
+  // Greedy victim: fully-written block on `die` with the fewest valid pages
+  // (never the open block). Returns the block id or -1 if none.
+  int SelectGcVictim(int die) const;
+
+  // All still-valid logical pages in `block`, in block order.
+  std::vector<Lpn> CollectValid(uint32_t block) const;
+
+  // Erase `block`: it must have zero valid pages; returns it to the die's
+  // free list and bumps its erase count.
+  void EraseBlock(uint32_t block);
+
+  // Synchronous GC used by preconditioning: relocate + erase until the die
+  // reaches the high watermark. Counts relocated pages into stats.
+  void GcSynchronous(int die);
+
+  // --- Preconditioning ------------------------------------------------------
+  // Write the whole logical space sequentially, striping program units
+  // round-robin across dies (the clean, "bathtub-fresh" state).
+  void PreconditionSequential();
+  // Sequential fill, then `overwrite_factor` x logical-capacity of uniform
+  // random 4 KiB overwrites — the fragmented steady state.
+  void PreconditionRandom(double overwrite_factor, uint64_t seed = 42);
+
+  // --- Introspection --------------------------------------------------------
+  uint16_t ValidPages(uint32_t block) const { return valid_count_[block]; }
+  uint32_t EraseCount(uint32_t block) const { return erase_count_[block]; }
+  const SsdConfig& config() const { return config_; }
+
+  struct Stats {
+    uint64_t host_pages_written = 0;   // pages allocated on behalf of host
+    uint64_t gc_pages_relocated = 0;   // pages moved by GC
+    uint64_t blocks_erased = 0;
+    double WriteAmplification() const {
+      if (host_pages_written == 0) return 1.0;
+      return 1.0 + static_cast<double>(gc_pages_relocated) /
+                       static_cast<double>(host_pages_written);
+    }
+  };
+  Stats& stats() { return stats_; }
+  const Stats& stats() const { return stats_; }
+
+  // Tag the next allocations as GC relocations (accounting only).
+  void BeginGcAllocation() { allocating_for_gc_ = true; }
+  void EndGcAllocation() { allocating_for_gc_ = false; }
+
+  // Round-robin die cursor used by writers that do not care which die a
+  // page lands on; advances one program unit at a time so that sequential
+  // data is striped in read-unit-sized chunks.
+  int NextWriteDie();
+
+ private:
+  void OpenNewBlock(int die);
+  void Invalidate(Lpn lpn);
+
+  SsdConfig config_;
+  std::vector<Ppn> l2p_;                  // lpn -> ppn
+  std::vector<Lpn> p2l_;                  // ppn -> lpn (kInvalidPage if stale)
+  std::vector<uint16_t> valid_count_;     // per block
+  std::vector<uint16_t> write_ptr_;       // per block: next free page offset
+  std::vector<uint32_t> erase_count_;     // per block (wear levelling)
+  std::vector<std::vector<uint32_t>> free_blocks_;  // per die
+  std::vector<int32_t> open_block_;       // per die, -1 if none
+  Stats stats_;
+  bool allocating_for_gc_ = false;
+  int write_die_cursor_ = 0;
+  uint32_t write_die_budget_ = 0;  // pages left before cursor advances
+};
+
+}  // namespace gimbal::ssd

@@ -1,0 +1,313 @@
+#include "ssd/ssd.h"
+
+#include <cassert>
+
+namespace gimbal::ssd {
+
+Ssd::Ssd(sim::Simulator& sim, SsdConfig config)
+    : sim_(sim), config_(config), ftl_(config), cmd_engine_(sim) {
+  die_res_.reserve(config_.dies());
+  for (int d = 0; d < config_.dies(); ++d) {
+    die_res_.push_back(std::make_unique<sim::PrioResource>(sim_));
+  }
+  channel_res_.reserve(config_.channels);
+  for (int c = 0; c < config_.channels; ++c) {
+    channel_res_.push_back(std::make_unique<sim::FifoResource>(sim_));
+  }
+  pump_active_.assign(config_.dies(), 0);
+  gc_active_.assign(config_.dies(), 0);
+}
+
+void Ssd::Submit(const DeviceIo& io, CompletionFn done) {
+  assert(io.length > 0);
+  assert(io.offset % config_.page_bytes == 0);
+  assert(io.length % config_.page_bytes == 0);
+  assert(io.offset + io.length <= config_.logical_bytes);
+  ++inflight_;
+  const Tick submit_time = sim_.now();
+  // Controller front-end: each NVMe command costs cmd_cost of serialized
+  // controller compute. This is the small-IO IOPS bound.
+  cmd_engine_.Acquire(config_.cmd_cost,
+                      [this, io, done = std::move(done), submit_time]() mutable {
+                        if (io.type == IoType::kRead) {
+                          DispatchRead(io, std::move(done), submit_time);
+                        } else {
+                          DispatchWrite(io, std::move(done), submit_time);
+                        }
+                      });
+}
+
+void Ssd::Trim(uint64_t offset, uint32_t length) {
+  assert(offset % config_.page_bytes == 0);
+  assert(length % config_.page_bytes == 0);
+  const uint32_t first = static_cast<uint32_t>(offset / config_.page_bytes);
+  const uint32_t npages = length / config_.page_bytes;
+  for (uint32_t i = 0; i < npages; ++i) {
+    Lpn lpn = first + i;
+    // Copies still in the write buffer will be programmed and then count
+    // as stale; the common case (cold data) just drops the mapping.
+    if (ftl_.Translate(lpn) != kInvalidPage) {
+      ftl_.Trim(lpn);
+      ++counters_.trimmed_pages;
+    }
+  }
+}
+
+void Ssd::FinishPart(PendingIo* op) {
+  if (--op->remaining == 0) {
+    op->cpl.complete_time = sim_.now();
+    --inflight_;
+    op->done(op->cpl);
+    delete op;
+  }
+}
+
+void Ssd::DispatchRead(const DeviceIo& io, CompletionFn done,
+                       Tick submit_time) {
+  ++counters_.read_commands;
+  counters_.read_bytes += io.length;
+
+  const uint32_t first = static_cast<uint32_t>(io.offset / config_.page_bytes);
+  const uint32_t npages = io.length / config_.page_bytes;
+
+  // Classify pages and coalesce NAND reads: physically-consecutive pages on
+  // one die merge into a single multi-plane sense of up to read_unit_pages.
+  std::vector<ReadGroup> groups;
+  uint32_t buffered = 0;
+  Ppn prev_ppn = kInvalidPage;
+  for (uint32_t i = 0; i < npages; ++i) {
+    Lpn lpn = first + i;
+    if (buffer_map_.count(lpn)) {
+      ++buffered;
+      ++counters_.buffer_hit_pages;
+      prev_ppn = kInvalidPage;
+      continue;
+    }
+    Ppn ppn = ftl_.Translate(lpn);
+    if (ppn == kInvalidPage) {
+      ++counters_.unmapped_pages;
+      prev_ppn = kInvalidPage;
+      continue;
+    }
+    int die = ftl_.DieOfPpn(ppn);
+    if (!groups.empty() && prev_ppn != kInvalidPage && ppn == prev_ppn + 1 &&
+        groups.back().die == die &&
+        groups.back().pages < config_.read_unit_pages) {
+      ++groups.back().pages;
+    } else {
+      groups.push_back(ReadGroup{die, 1});
+    }
+    prev_ppn = ppn;
+  }
+
+  auto* op = new PendingIo;
+  op->cpl.cookie = io.cookie;
+  op->cpl.type = io.type;
+  op->cpl.length = io.length;
+  op->cpl.submit_time = submit_time;
+  op->done = std::move(done);
+  op->remaining = static_cast<int>(groups.size()) + (buffered > 0 ? 1 : 0);
+
+  if (op->remaining == 0) {
+    // Entirely unmapped: the controller returns zeroes at DRAM speed.
+    op->remaining = 1;
+    sim_.After(config_.dram_latency, [this, op]() { FinishPart(op); });
+    return;
+  }
+  if (buffered > 0) {
+    // Pages still in the write buffer are served from DRAM.
+    Tick t = config_.dram_latency +
+             TransferTime(uint64_t{buffered} * config_.page_bytes,
+                          config_.dram_bw);
+    sim_.After(t, [this, op]() { FinishPart(op); });
+  }
+  for (const ReadGroup& g : groups) {
+    const uint64_t bytes = uint64_t{g.pages} * config_.page_bytes;
+    const int ch = ChannelOfDie(g.die);
+    die_res_[g.die]->AcquireHigh(config_.read_latency, [this, op, ch,
+                                                        bytes]() {
+      channel_res_[ch]->Acquire(TransferTime(bytes, config_.channel_bw),
+                                [this, op]() { FinishPart(op); });
+    });
+  }
+}
+
+void Ssd::DispatchWrite(const DeviceIo& io, CompletionFn done,
+                        Tick submit_time) {
+  ++counters_.write_commands;
+  counters_.write_bytes += io.length;
+  if (admit_wait_.empty() && buffer_free() >= io.length) {
+    AdmitWrite(io, std::move(done), submit_time);
+  } else {
+    admit_wait_.push_back(WaitingWrite{io, std::move(done), submit_time});
+  }
+}
+
+void Ssd::AdmitWrite(const DeviceIo& io, CompletionFn done, Tick submit_time) {
+  buffer_used_ += io.length;
+  const uint32_t first = static_cast<uint32_t>(io.offset / config_.page_bytes);
+  const uint32_t npages = io.length / config_.page_bytes;
+  for (uint32_t i = 0; i < npages; ++i) {
+    ++buffer_map_[first + i];
+    drain_.push_back(first + i);
+  }
+  // The host sees the write complete once the data is in the DRAM buffer.
+  auto* op = new PendingIo;
+  op->cpl.cookie = io.cookie;
+  op->cpl.type = io.type;
+  op->cpl.length = io.length;
+  op->cpl.submit_time = submit_time;
+  op->done = std::move(done);
+  op->remaining = 1;
+  // Progressive backpressure: the controller acks buffered writes roughly
+  // in program order, so the ack latency grows with the bytes queued ahead
+  // (real drives pace program credits rather than acking at DRAM speed
+  // until a hard cliff). This smooth, linear latency ramp is what gives
+  // delay-based congestion control a usable gradient.
+  Tick backpressure = static_cast<Tick>(
+      static_cast<double>(buffer_used_) * kNsPerSec /
+      config_.nominal_drain_bps());
+  Tick t = config_.dram_latency + TransferTime(io.length, config_.dram_bw) +
+           backpressure;
+  sim_.After(t, [this, op]() { FinishPart(op); });
+  KickAllPumps();
+}
+
+void Ssd::AdmitWaiters() {
+  while (!admit_wait_.empty() && buffer_free() >= admit_wait_.front().io.length) {
+    WaitingWrite w = std::move(admit_wait_.front());
+    admit_wait_.pop_front();
+    AdmitWrite(w.io, std::move(w.done), w.submit_time);
+  }
+}
+
+void Ssd::KickAllPumps() {
+  if (drain_.empty()) return;
+  // Rotate the starting die so low-rate writes stripe across dies instead
+  // of always landing on die 0.
+  int start = kick_cursor_;
+  kick_cursor_ = (kick_cursor_ + 1) % config_.dies();
+  for (int i = 0; i < config_.dies() && !drain_.empty(); ++i) {
+    PumpDie((start + i) % config_.dies());
+  }
+}
+
+void Ssd::PumpDie(int die) {
+  if (pump_active_[die]) return;
+  if (drain_.empty()) return;
+  if (!ftl_.HostWriteAllowed(die) || !ftl_.CanAllocate(die)) {
+    // This die cannot take host writes right now; GC (if it can make
+    // progress) will re-kick the pumps after its next erase. Other dies
+    // keep pulling from the shared FIFO meanwhile.
+    MaybeStartGc(die);
+    return;
+  }
+  pump_active_[die] = 1;
+  // Pull one program unit's worth of buffered pages for this die.
+  auto batch = std::make_shared<std::vector<Lpn>>();
+  while (!drain_.empty() && batch->size() < config_.program_unit_pages) {
+    batch->push_back(drain_.front());
+    drain_.pop_front();
+  }
+  const uint64_t bytes = batch->size() * uint64_t{config_.page_bytes};
+  const int ch = ChannelOfDie(die);
+  channel_res_[ch]->Acquire(
+      TransferTime(bytes, config_.channel_bw), [this, die, batch, bytes]() {
+        die_res_[die]->AcquireLow(config_.program_latency, [this, die, batch,
+                                                            bytes]() {
+          // Mapping updates happen at program completion.
+          for (Lpn lpn : *batch) {
+            ftl_.AllocateOnDie(lpn, die);
+            auto it = buffer_map_.find(lpn);
+            if (it != buffer_map_.end() && --it->second == 0) {
+              buffer_map_.erase(it);
+            }
+          }
+          buffer_used_ -= bytes;
+          pump_active_[die] = 0;
+          AdmitWaiters();
+          MaybeStartGc(die);
+          PumpDie(die);
+        });
+      });
+}
+
+void Ssd::MaybeStartGc(int die) {
+  if (gc_active_[die]) return;
+  if (!ftl_.NeedsGc(die)) return;
+  gc_active_[die] = 1;
+  ++counters_.gc_runs;
+  GcStep(die);
+}
+
+void Ssd::GcStep(int die) {
+  if (ftl_.GcSatisfied(die)) {
+    gc_active_[die] = 0;
+    PumpDie(die);
+    return;
+  }
+  int victim = ftl_.SelectGcVictim(die);
+  if (victim < 0 ||
+      ftl_.ValidPages(static_cast<uint32_t>(victim)) >=
+          config_.pages_per_block) {
+    // Nothing reclaimable, or the die is packed solid with valid data
+    // (relocation would gain nothing): stand down until state changes.
+    gc_active_[die] = 0;
+    return;
+  }
+  auto valid = std::make_shared<std::vector<Lpn>>(
+      ftl_.CollectValid(static_cast<uint32_t>(victim)));
+  GcRelocateBatch(die, static_cast<uint32_t>(victim), std::move(valid), 0);
+}
+
+void Ssd::GcRelocateBatch(int die, uint32_t victim,
+                          std::shared_ptr<std::vector<Lpn>> valid,
+                          size_t index) {
+  if (index >= valid->size()) {
+    // All survivors relocated (or invalidated by host writes): erase, in
+    // suspendable slices so host reads queued at high priority interleave.
+    const int slices = config_.erase_slices > 0 ? config_.erase_slices : 1;
+    const Tick slice = config_.erase_latency / slices;
+    auto run_slice = std::make_shared<std::function<void(int)>>();
+    *run_slice = [this, die, victim, slices, slice, run_slice](int i) {
+      die_res_[die]->AcquireLow(slice, [this, die, victim, slices, i,
+                                        run_slice]() {
+        if (i + 1 < slices) {
+          (*run_slice)(i + 1);
+          return;
+        }
+        ftl_.EraseBlock(victim);
+        AdmitWaiters();
+        // A freed block may unblock pumps beyond this die (pages can have
+        // been redistributed while it was packed).
+        KickAllPumps();
+        GcStep(die);
+      });
+    };
+    (*run_slice)(0);
+    return;
+  }
+  size_t end = std::min(index + config_.program_unit_pages, valid->size());
+  // One multi-plane copyback: sense then program on the same die. Host IOs
+  // queued on the die FIFO interleave between GC steps — that queueing is
+  // the read/write interference the paper measures.
+  die_res_[die]->AcquireLow(config_.read_latency, [this, die, victim, valid,
+                                                   index, end]() {
+    die_res_[die]->AcquireLow(config_.program_latency, [this, die, victim,
+                                                        valid, index, end]() {
+      ftl_.BeginGcAllocation();
+      for (size_t i = index; i < end; ++i) {
+        Lpn lpn = (*valid)[i];
+        // Skip pages the host overwrote after victim selection — their
+        // valid copy now lives elsewhere.
+        Ppn cur = ftl_.Translate(lpn);
+        if (cur == kInvalidPage || ftl_.BlockOf(cur) != victim) continue;
+        ftl_.AllocateOnDie(lpn, die);
+      }
+      ftl_.EndGcAllocation();
+      GcRelocateBatch(die, victim, valid, end);
+    });
+  });
+}
+
+}  // namespace gimbal::ssd

@@ -1,0 +1,57 @@
+// Open-loop workload driver: IOs arrive on a Poisson process at a fixed
+// offered rate, independent of completions (unlike FioWorker's closed
+// loop). This is the right tool for latency-vs-offered-load curves — a
+// closed loop self-throttles at the knee and hides the latency explosion.
+#pragma once
+
+#include <cstdint>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "fabric/initiator.h"
+#include "workload/fio.h"
+
+namespace gimbal::workload {
+
+struct OpenLoopSpec {
+  double offered_iops = 10'000;   // mean arrival rate
+  double read_ratio = 1.0;
+  uint32_t io_bytes = 4096;
+  bool sequential = false;
+  IoPriority priority = IoPriority::kNormal;
+  uint64_t region_offset = 0;
+  uint64_t region_bytes = 0;      // 0 = whole device (set by caller)
+  uint32_t max_outstanding = 4096;  // sanity cap; beyond it arrivals drop
+  uint64_t seed = 1;
+};
+
+class OpenLoopWorker {
+ public:
+  OpenLoopWorker(sim::Simulator& sim, fabric::Initiator& initiator,
+                 OpenLoopSpec spec);
+
+  void Start();
+  void Stop() { running_ = false; }
+  bool running() const { return running_; }
+
+  WorkerStats& stats() { return stats_; }
+  uint64_t dropped() const { return dropped_; }
+  uint32_t outstanding() const { return outstanding_; }
+  const OpenLoopSpec& spec() const { return spec_; }
+
+ private:
+  void ScheduleArrival();
+  void Arrive();
+
+  sim::Simulator& sim_;
+  fabric::Initiator& initiator_;
+  OpenLoopSpec spec_;
+  Rng rng_;
+  WorkerStats stats_;
+  bool running_ = false;
+  uint32_t outstanding_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t seq_cursor_ = 0;
+};
+
+}  // namespace gimbal::workload

@@ -1,0 +1,36 @@
+// Fixed-width table printing for the bench binaries, so every reproduced
+// table/figure prints self-describing rows that can be diffed against the
+// paper's values.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace gimbal::workload {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  Table& Columns(std::vector<std::string> names);
+  Table& Row(std::vector<std::string> cells);
+  void Print() const;
+
+  // Formatting helpers.
+  static std::string Num(double v, int precision = 1);
+  static std::string MBps(double bytes_per_sec);
+  static std::string Us(double ns);
+  static std::string Kiops(double ios_per_sec);
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Section banner used by every bench binary.
+void PrintHeader(const std::string& experiment, const std::string& paper_ref,
+                 const std::string& expectation);
+
+}  // namespace gimbal::workload

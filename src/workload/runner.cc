@@ -1,0 +1,121 @@
+#include "workload/runner.h"
+
+#include <cassert>
+
+namespace gimbal::workload {
+
+const char* ToString(Scheme s) {
+  switch (s) {
+    case Scheme::kVanilla: return "vanilla";
+    case Scheme::kReflex: return "reflex";
+    case Scheme::kParda: return "parda";
+    case Scheme::kFlashFq: return "flashfq";
+    case Scheme::kGimbal: return "gimbal";
+    case Scheme::kTimeslice: return "timeslice";
+  }
+  return "?";
+}
+
+fabric::ThrottleMode ThrottleFor(Scheme s) {
+  switch (s) {
+    case Scheme::kGimbal: return fabric::ThrottleMode::kCredit;
+    case Scheme::kParda: return fabric::ThrottleMode::kParda;
+    default: return fabric::ThrottleMode::kNone;
+  }
+}
+
+Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg) {
+  net_ = std::make_unique<fabric::Network>(sim_, cfg_.net);
+  target_ = std::make_unique<fabric::Target>(sim_, *net_, cfg_.target);
+  for (int i = 0; i < cfg_.num_ssds; ++i) {
+    if (cfg_.use_null_device) {
+      devices_.push_back(std::make_unique<ssd::NullDevice>(sim_));
+      ssds_.push_back(nullptr);
+    } else {
+      auto dev = std::make_unique<ssd::Ssd>(sim_, cfg_.ssd);
+      if (cfg_.condition == SsdCondition::kClean) {
+        dev->PreconditionClean();
+      } else {
+        dev->PreconditionFragmented(3.0, /*seed=*/42 + i);
+      }
+      ssds_.push_back(dev.get());
+      devices_.push_back(std::move(dev));
+    }
+    int id = target_->AddPipeline(MakePolicy(*devices_.back()));
+    assert(id == i);
+    (void)id;
+  }
+}
+
+std::unique_ptr<core::IoPolicy> Testbed::MakePolicy(ssd::BlockDevice& dev) {
+  switch (cfg_.scheme) {
+    case Scheme::kVanilla:
+      return std::make_unique<baselines::FcfsPolicy>(sim_, dev);
+    case Scheme::kReflex:
+      return std::make_unique<baselines::ReflexPolicy>(sim_, dev, cfg_.reflex);
+    case Scheme::kParda:
+      return std::make_unique<baselines::PardaPolicy>(sim_, dev);
+    case Scheme::kFlashFq:
+      return std::make_unique<baselines::FlashFqPolicy>(sim_, dev,
+                                                        cfg_.flashfq);
+    case Scheme::kGimbal:
+      return std::make_unique<core::GimbalSwitch>(sim_, dev, cfg_.gimbal);
+    case Scheme::kTimeslice:
+      return std::make_unique<baselines::TimeslicePolicy>(sim_, dev,
+                                                          cfg_.timeslice);
+  }
+  return nullptr;
+}
+
+core::GimbalSwitch* Testbed::gimbal_switch(int i) {
+  return cfg_.scheme == Scheme::kGimbal
+             ? static_cast<core::GimbalSwitch*>(&target_->policy(i))
+             : nullptr;
+}
+
+fabric::Initiator& Testbed::AddInitiator(
+    int ssd_index, std::optional<fabric::ThrottleMode> throttle) {
+  initiators_.push_back(std::make_unique<fabric::Initiator>(
+      sim_, *net_, *target_, ssd_index, next_tenant_++,
+      throttle.value_or(ThrottleFor(cfg_.scheme)), cfg_.parda));
+  return *initiators_.back();
+}
+
+FioWorker& Testbed::AddWorker(FioSpec spec, int ssd_index) {
+  if (spec.region_bytes == 0) {
+    spec.region_bytes = device(ssd_index).capacity_bytes();
+  }
+  fabric::Initiator& init = AddInitiator(ssd_index);
+  workers_.push_back(std::make_unique<FioWorker>(sim_, init, spec));
+  return *workers_.back();
+}
+
+void Testbed::Run(Tick warmup, Tick measure) {
+  for (auto& w : workers_) w->Start();
+  sim_.RunUntil(sim_.now() + warmup);
+  for (auto& w : workers_) w->stats().Reset();
+  sim_.RunUntil(sim_.now() + measure);
+  measured_ = measure;
+}
+
+double StandaloneBandwidth(const TestbedConfig& cfg, const FioSpec& spec,
+                           Tick warmup, Tick measure, int workers) {
+  // The denominator of f-Util is what the workload could achieve running
+  // exclusively on the *device* — measured through the unmodified target
+  // so a scheme's own throttling (e.g. ReFlex's static token cap) cannot
+  // flatter its fairness number.
+  TestbedConfig standalone_cfg = cfg;
+  standalone_cfg.scheme = Scheme::kVanilla;
+  Testbed bed(standalone_cfg);
+  for (int i = 0; i < workers; ++i) {
+    FioSpec s = spec;
+    s.seed = spec.seed + static_cast<uint64_t>(i) * 7919 + 1;
+    bed.AddWorker(s, 0);
+  }
+  bed.Run(warmup, measure);
+  uint64_t bytes = 0;
+  for (auto& w : bed.workers()) bytes += w->stats().total_bytes();
+  return RateBps(bytes, measure);
+}
+
+}  // namespace gimbal::workload

@@ -1,0 +1,119 @@
+// Experiment harness: wires a complete disaggregated-storage testbed —
+// simulator, network, target node, SSDs (conditioned clean/fragmented),
+// one IoPolicy per SSD for the chosen scheme, initiators and fio workers —
+// mirroring the §5.1 methodology so each bench stays a thin declaration of
+// its workload matrix.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/fcfs_policy.h"
+#include "baselines/flashfq_policy.h"
+#include "baselines/parda_policy.h"
+#include "baselines/reflex_policy.h"
+#include "baselines/timeslice_policy.h"
+#include "core/gimbal_switch.h"
+#include "fabric/initiator.h"
+#include "fabric/network.h"
+#include "fabric/target.h"
+#include "sim/simulator.h"
+#include "ssd/null_device.h"
+#include "ssd/ssd.h"
+#include "workload/fio.h"
+
+namespace gimbal::workload {
+
+// The four comparison schemes of §5.1 plus the unmodified target.
+enum class Scheme { kVanilla, kReflex, kParda, kFlashFq, kGimbal, kTimeslice };
+
+const char* ToString(Scheme s);
+fabric::ThrottleMode ThrottleFor(Scheme s);
+inline const Scheme kAllSchemes[] = {Scheme::kReflex, Scheme::kFlashFq,
+                                     Scheme::kParda, Scheme::kGimbal};
+
+enum class SsdCondition { kClean, kFragmented };
+
+struct TestbedConfig {
+  int num_ssds = 1;
+  ssd::SsdConfig ssd = {};
+  SsdCondition condition = SsdCondition::kClean;
+  fabric::TargetConfig target = fabric::TargetConfig::SmartNicLike();
+  fabric::NetworkConfig net = {};
+  Scheme scheme = Scheme::kGimbal;
+  core::GimbalParams gimbal = {};
+  baselines::ReflexParams reflex = {};
+  baselines::PardaParams parda = {};
+  baselines::FlashFqParams flashfq = {};
+  baselines::TimesliceParams timeslice = {};
+  bool use_null_device = false;  // Table 1b's NULL bdev mode
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig cfg);
+
+  sim::Simulator& sim() { return sim_; }
+  fabric::Network& net() { return *net_; }
+  fabric::Target& target() { return *target_; }
+  ssd::BlockDevice& device(int i) { return *devices_[i]; }
+  // The full SSD model behind pipeline i (nullptr in NULL-device mode).
+  ssd::Ssd* ssd(int i) { return ssds_[i]; }
+  core::IoPolicy& policy(int i) { return target_->policy(i); }
+  // The Gimbal switch behind pipeline i, or nullptr for other schemes.
+  core::GimbalSwitch* gimbal_switch(int i);
+  const TestbedConfig& config() const { return cfg_; }
+
+  // Create a new tenant attached to SSD `ssd_index`; throttle mode follows
+  // the scheme (credits for Gimbal, latency window for Parda) unless
+  // overridden (the Fig 13 vanilla/+FC ablation disables the credit
+  // throttle while keeping the Gimbal switch at the target).
+  fabric::Initiator& AddInitiator(
+      int ssd_index,
+      std::optional<fabric::ThrottleMode> throttle = std::nullopt);
+
+  // Convenience: new tenant + fio worker on it. An unset region defaults
+  // to the whole device.
+  FioWorker& AddWorker(FioSpec spec, int ssd_index = 0);
+
+  std::vector<std::unique_ptr<FioWorker>>& workers() { return workers_; }
+
+  // Start every worker, warm up, reset stats, then run the measurement
+  // window. Reported stats cover only the measurement window.
+  void Run(Tick warmup, Tick measure);
+
+  Tick measured() const { return measured_; }
+
+ private:
+  std::unique_ptr<core::IoPolicy> MakePolicy(ssd::BlockDevice& dev);
+
+  TestbedConfig cfg_;
+  sim::Simulator sim_;
+  std::unique_ptr<fabric::Network> net_;
+  std::unique_ptr<fabric::Target> target_;
+  std::vector<std::unique_ptr<ssd::BlockDevice>> devices_;
+  std::vector<ssd::Ssd*> ssds_;
+  std::vector<std::unique_ptr<fabric::Initiator>> initiators_;
+  std::vector<std::unique_ptr<FioWorker>> workers_;
+  TenantId next_tenant_ = 1;
+  Tick measured_ = 0;
+};
+
+// Aggregate bandwidth (bytes/sec) the workload class achieves when it has
+// the SSD to itself — the paper's "standalone benchmark" (§5.2 runs 16
+// workers of the same shape) and the denominator of the f-Util metric.
+// `workers` instances of `spec` run on a fresh testbed.
+double StandaloneBandwidth(const TestbedConfig& cfg, const FioSpec& spec,
+                           Tick warmup = Milliseconds(300),
+                           Tick measure = Milliseconds(500),
+                           int workers = 16);
+
+// f-Util (§5.1): per-worker bandwidth over its fair share of standalone.
+inline double FUtil(double worker_bps, double standalone_bps, int workers) {
+  if (standalone_bps <= 0) return 0;
+  return worker_bps / (standalone_bps / workers);
+}
+
+}  // namespace gimbal::workload

@@ -1,0 +1,79 @@
+// Trace-driven workload replay.
+//
+// A trace is a time-ordered list of IO records; the TraceWorker issues
+// each record at its timestamp (open-loop), optionally looping the trace.
+// Generators produce common synthetic traces — the bursty ON/OFF pattern
+// production storage sees — so experiments are reproducible without
+// external trace files, and a tiny text parser loads real traces
+// ("<ns> <R|W> <offset> <bytes> [prio]" per line).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "fabric/initiator.h"
+#include "workload/fio.h"
+
+namespace gimbal::workload {
+
+struct TraceRecord {
+  Tick at = 0;  // issue time relative to trace start
+  IoType type = IoType::kRead;
+  uint64_t offset = 0;
+  uint32_t length = 4096;
+  IoPriority priority = IoPriority::kNormal;
+};
+
+using Trace = std::vector<TraceRecord>;
+
+// Parse the text format above; returns records sorted by time. Lines
+// starting with '#' and blank lines are skipped. Throws std::runtime_error
+// on malformed input.
+Trace ParseTrace(const std::string& text);
+
+// ON/OFF bursty generator: alternating busy bursts (Poisson arrivals at
+// `burst_iops`) and idle gaps, the pattern §5.5's dynamic experiment
+// approximates with rate caps.
+struct BurstySpec {
+  double burst_iops = 50'000;
+  Tick burst_duration = Milliseconds(20);
+  Tick idle_duration = Milliseconds(80);
+  Tick total = Seconds(1);
+  double read_ratio = 1.0;
+  uint32_t io_bytes = 4096;
+  uint64_t region_bytes = 0;  // required
+  uint64_t seed = 1;
+};
+Trace GenerateBurstyTrace(const BurstySpec& spec);
+
+class TraceWorker {
+ public:
+  TraceWorker(sim::Simulator& sim, fabric::Initiator& initiator, Trace trace,
+              bool loop = false);
+
+  void Start();
+  void Stop() { running_ = false; }
+
+  WorkerStats& stats() { return stats_; }
+  uint64_t issued() const { return issued_; }
+  bool finished() const { return !running_ && started_; }
+
+ private:
+  void ScheduleNext();
+
+  sim::Simulator& sim_;
+  fabric::Initiator& initiator_;
+  Trace trace_;
+  bool loop_;
+  bool running_ = false;
+  bool started_ = false;
+  size_t cursor_ = 0;
+  Tick epoch_ = 0;  // sim time corresponding to trace time 0
+  uint64_t issued_ = 0;
+  WorkerStats stats_;
+};
+
+}  // namespace gimbal::workload

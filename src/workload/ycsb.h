@@ -1,0 +1,58 @@
+// YCSB core-workload generators (Cooper et al., SoCC'10), used by the
+// RocksDB case study (§5.6): workloads A, B, C, D and F with the paper's
+// configuration (1 KiB values, Zipfian skew 0.99).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.h"
+
+namespace gimbal::workload {
+
+enum class YcsbOp { kRead, kUpdate, kInsert, kReadModifyWrite, kScan };
+
+// A-D and F are the paper's §5.6 set; E (95% short scans / 5% inserts) is
+// included as an extension now that the KV store supports range scans.
+enum class YcsbWorkload { kA, kB, kC, kD, kE, kF };
+
+const char* ToString(YcsbWorkload w);
+
+struct YcsbSpec {
+  YcsbWorkload workload = YcsbWorkload::kA;
+  uint64_t record_count = 100'000;
+  uint32_t value_bytes = 1024;
+  double zipf_theta = 0.99;
+  uint64_t seed = 1;
+};
+
+// Stateful per-client generator. Thread-free (the simulator is single
+// threaded); inserts grow the keyspace, and workload D's reads follow the
+// "latest" distribution over it.
+class YcsbGenerator {
+ public:
+  explicit YcsbGenerator(YcsbSpec spec);
+
+  struct Op {
+    YcsbOp op;
+    uint64_t key;
+    uint32_t scan_length = 0;  // kScan only: uniform in [1, 100]
+  };
+  Op Next();
+
+  uint64_t record_count() const { return record_count_; }
+  const YcsbSpec& spec() const { return spec_; }
+
+ private:
+  uint64_t NextZipfKey();
+  uint64_t NextLatestKey();
+
+  YcsbSpec spec_;
+  Rng rng_;
+  uint64_t record_count_;
+  std::unique_ptr<ScrambledZipfian> zipf_;
+  std::unique_ptr<ZipfianGenerator> latest_skew_;
+  uint64_t zipf_domain_ = 0;  // domain the zipf generator was built for
+};
+
+}  // namespace gimbal::workload

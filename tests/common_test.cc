@@ -1,0 +1,231 @@
+// Unit tests for common utilities: time helpers, RNG/distributions,
+// streaming stats, EWMA, and the latency histogram.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/time.h"
+
+namespace gimbal {
+namespace {
+
+TEST(Time, UnitConversions) {
+  EXPECT_EQ(Microseconds(1), 1000);
+  EXPECT_EQ(Milliseconds(1), 1000 * 1000);
+  EXPECT_EQ(Seconds(1.5), 1'500'000'000);
+  EXPECT_DOUBLE_EQ(ToUs(Microseconds(250)), 250.0);
+  EXPECT_DOUBLE_EQ(ToMs(Milliseconds(3)), 3.0);
+}
+
+TEST(Time, TransferTime) {
+  // 4 KiB at 400 MB/s ~ 10.24 us.
+  Tick t = TransferTime(4096, 400e6);
+  EXPECT_NEAR(static_cast<double>(t), 10240, 2);
+  EXPECT_EQ(TransferTime(0, 400e6), 1);  // rounds up
+  EXPECT_EQ(TransferTime(100, 0), 0);    // degenerate bandwidth
+}
+
+TEST(Time, RateBps) {
+  EXPECT_DOUBLE_EQ(RateBps(1000, Seconds(1)), 1000.0);
+  EXPECT_DOUBLE_EQ(RateBps(1000, 0), 0.0);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+  EXPECT_EQ(rng.NextBounded(0), 0u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(50.0);
+  EXPECT_NEAR(sum / n, 50.0, 1.5);
+}
+
+TEST(Zipfian, SkewConcentratesOnHotKeys) {
+  Rng rng(17);
+  ZipfianGenerator zipf(1000, 0.99);
+  std::map<uint64_t, int> counts;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Next(rng)];
+  // Rank-0 key should receive far more than uniform share (0.1%).
+  EXPECT_GT(counts[0], n / 100);
+  // And counts should be monotone-ish: rank 0 > rank 10 > rank 100.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[100]);
+}
+
+TEST(Zipfian, StaysInRange) {
+  Rng rng(19);
+  ZipfianGenerator zipf(50, 0.99);
+  for (int i = 0; i < 50000; ++i) EXPECT_LT(zipf.Next(rng), 50u);
+}
+
+TEST(ScrambledZipfian, SpreadsHotKeys) {
+  Rng rng(23);
+  ScrambledZipfian zipf(1000, 0.99);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Next(rng)];
+  // The hottest key should not be key 0 systematically (hashing spreads it),
+  // but skew must remain: max count far above uniform.
+  int max_count = 0;
+  for (auto& [k, v] : counts) max_count = std::max(max_count, v);
+  EXPECT_GT(max_count, 1000);
+}
+
+TEST(StreamingStats, Basics) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  s.Add(10);
+  s.Add(20);
+  s.Add(30);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 20.0);
+  EXPECT_DOUBLE_EQ(s.min(), 10.0);
+  EXPECT_DOUBLE_EQ(s.max(), 30.0);
+}
+
+TEST(Ewma, FirstSampleInitializes) {
+  Ewma e(0.5);
+  EXPECT_FALSE(e.initialized());
+  e.Add(100);
+  EXPECT_TRUE(e.initialized());
+  EXPECT_DOUBLE_EQ(e.value(), 100.0);
+}
+
+TEST(Ewma, ConvergesTowardConstant) {
+  Ewma e(0.5);
+  e.Add(0);
+  for (int i = 0; i < 30; ++i) e.Add(100);
+  EXPECT_NEAR(e.value(), 100.0, 0.001);
+}
+
+TEST(Ewma, WeightsRecentSamples) {
+  Ewma e(0.5);
+  e.Add(100);
+  e.Add(0);  // ewma = 50
+  EXPECT_DOUBLE_EQ(e.value(), 50.0);
+}
+
+TEST(RateMeter, ComputesRate) {
+  RateMeter m;
+  m.Add(1000);
+  m.Add(1000);
+  double rate = m.Roll(0, Seconds(2));
+  EXPECT_DOUBLE_EQ(rate, 1000.0);  // 2000 units over 2 s
+  EXPECT_EQ(m.accumulated(), 0u);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(0.99), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, ExactSmallValues) {
+  LatencyHistogram h;
+  for (int i = 0; i < 32; ++i) h.Record(i);
+  EXPECT_EQ(h.count(), 32u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 31);
+  EXPECT_EQ(h.Percentile(0.0), 0);
+}
+
+TEST(Histogram, PercentileAccuracy) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 10000; ++i) h.Record(i);
+  // Log-linear buckets guarantee ~3% relative error.
+  EXPECT_NEAR(static_cast<double>(h.p50()), 5000.0, 5000 * 0.04);
+  EXPECT_NEAR(static_cast<double>(h.p99()), 9900.0, 9900 * 0.04);
+  EXPECT_NEAR(h.mean(), 5000.5, 1.0);
+}
+
+TEST(Histogram, LargeValues) {
+  LatencyHistogram h;
+  h.Record(Seconds(100));
+  h.Record(Seconds(200));
+  EXPECT_GE(h.Percentile(0.99), Seconds(100));
+  EXPECT_EQ(h.max(), Seconds(200));
+}
+
+TEST(Histogram, NegativeClampedToZero) {
+  LatencyHistogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Histogram, Merge) {
+  LatencyHistogram a, b;
+  for (int i = 0; i < 100; ++i) a.Record(10);
+  for (int i = 0; i < 100; ++i) b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+  EXPECT_LE(a.Percentile(0.25), 11);
+  EXPECT_GE(a.Percentile(0.75), 990);
+}
+
+class HistogramRoundTrip : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(HistogramRoundTrip, RelativeErrorBounded) {
+  LatencyHistogram h;
+  int64_t v = GetParam();
+  h.Record(v);
+  int64_t p = h.Percentile(0.5);
+  EXPECT_GE(p, v);  // bucket upper bound
+  if (v > 0) {
+    EXPECT_LE(static_cast<double>(p - v), std::max<double>(1.0, 0.04 * v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, HistogramRoundTrip,
+                         ::testing::Values(0, 1, 31, 32, 33, 100, 1000, 4095,
+                                           4096, 65535, 1 << 20,
+                                           Milliseconds(1), Seconds(1),
+                                           Seconds(1000)));
+
+}  // namespace
+}  // namespace gimbal

@@ -1,0 +1,184 @@
+// Parameterized property sweeps: invariants that must hold across the
+// device-geometry and Gimbal-parameter space, not just at the defaults.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "core/gimbal_switch.h"
+#include "ssd/ssd.h"
+#include "workload/runner.h"
+
+namespace gimbal {
+namespace {
+
+// --------------------------------------------------------------------------
+// SSD geometry sweep: conservation and sanity across configurations.
+// --------------------------------------------------------------------------
+
+struct Geometry {
+  int channels;
+  int dies_per_channel;
+  uint32_t pages_per_block;
+  uint64_t logical_mb;
+};
+
+class GeometrySweep : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(GeometrySweep, MixedTrafficInvariants) {
+  auto [channels, dpc, ppb, logical_mb] = GetParam();
+  sim::Simulator sim;
+  ssd::SsdConfig cfg;
+  cfg.channels = channels;
+  cfg.dies_per_channel = dpc;
+  cfg.pages_per_block = ppb;
+  cfg.logical_bytes = logical_mb << 20;
+  ssd::Ssd dev(sim, cfg);
+  dev.PreconditionFragmented(2.0);
+
+  // Drive a mixed closed loop.
+  Rng rng(99);
+  uint64_t reads_done = 0, writes_done = 0, bytes_done = 0;
+  Tick max_latency = 0;
+  std::function<void()> issue = [&]() {
+    ssd::DeviceIo io;
+    bool write = rng.NextBool(0.3);
+    io.type = write ? IoType::kWrite : IoType::kRead;
+    io.length = 4096u << rng.NextBounded(3);  // 4/8/16 KiB
+    uint64_t slots = cfg.logical_bytes / io.length;
+    io.offset = rng.NextBounded(slots) * io.length;
+    dev.Submit(io, [&](const ssd::DeviceCompletion& cpl) {
+      (cpl.type == IoType::kRead ? reads_done : writes_done)++;
+      bytes_done += cpl.length;
+      max_latency = std::max(max_latency, cpl.latency());
+      issue();
+    });
+  };
+  for (int i = 0; i < 16; ++i) issue();
+  sim.RunUntil(Milliseconds(200));
+
+  // Invariants: progress on both classes, WA sane, latencies positive and
+  // bounded, free-block floor respected on every die.
+  EXPECT_GT(reads_done, 50u);
+  EXPECT_GT(writes_done, 20u);
+  EXPECT_GE(dev.ftl().stats().WriteAmplification(), 1.0);
+  EXPECT_LT(dev.ftl().stats().WriteAmplification(), 20.0);
+  EXPECT_GT(max_latency, 0);
+  EXPECT_LT(max_latency, Seconds(1));
+  for (int d = 0; d < cfg.dies(); ++d) {
+    EXPECT_GE(dev.ftl().FreeBlocks(d), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GeometrySweep,
+    ::testing::Values(Geometry{2, 2, 64, 64},     // tiny, coarse blocks
+                      Geometry{4, 4, 128, 128},   // mid
+                      Geometry{8, 4, 128, 256},   // default-like
+                      Geometry{8, 8, 64, 256},    // many dies, small blocks
+                      Geometry{1, 4, 128, 64}));  // single channel
+
+// --------------------------------------------------------------------------
+// Gimbal parameter sweep: the switch must stay live and fair-ish for any
+// sane parameterization, not just §4.2's defaults.
+// --------------------------------------------------------------------------
+
+struct Params {
+  Tick thresh_min;
+  Tick thresh_max;
+  double beta;
+  uint32_t slots_threshold;
+};
+
+class GimbalParamSweep : public ::testing::TestWithParam<Params> {};
+
+TEST_P(GimbalParamSweep, TwoTenantsStayLiveAndBalanced) {
+  auto [tmin, tmax, beta, slots] = GetParam();
+  workload::TestbedConfig cfg;
+  cfg.scheme = workload::Scheme::kGimbal;
+  cfg.ssd.logical_bytes = 128ull << 20;
+  cfg.gimbal.thresh_min = tmin;
+  cfg.gimbal.thresh_max = tmax;
+  cfg.gimbal.beta = beta;
+  cfg.gimbal.slots_threshold = slots;
+  workload::Testbed bed(cfg);
+  for (int i = 0; i < 2; ++i) {
+    workload::FioSpec spec;
+    spec.io_bytes = 4096;
+    spec.queue_depth = 32;
+    spec.seed = static_cast<uint64_t>(i) + 1;
+    bed.AddWorker(spec);
+  }
+  bed.Run(Milliseconds(200), Milliseconds(400));
+  uint64_t a = bed.workers()[0]->stats().total_bytes();
+  uint64_t b = bed.workers()[1]->stats().total_bytes();
+  ASSERT_GT(a, 0u);
+  ASSERT_GT(b, 0u);
+  double ratio = static_cast<double>(std::max(a, b)) /
+                 static_cast<double>(std::min(a, b));
+  EXPECT_LT(ratio, 1.5) << "equal tenants diverged under params";
+  // Liveness: once the workers stop, everything queued at the switch must
+  // drain (no stranded requests under any parameterization).
+  for (auto& w : bed.workers()) w->Stop();
+  bed.sim().RunUntil(bed.sim().now() + Seconds(2));
+  core::GimbalSwitch* sw = bed.gimbal_switch(0);
+  ASSERT_NE(sw, nullptr);
+  EXPECT_EQ(sw->scheduler().queued_total(), 0u)
+      << "requests stranded after drain window";
+  EXPECT_EQ(sw->io_outstanding(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamSpace, GimbalParamSweep,
+    ::testing::Values(
+        Params{Microseconds(250), Microseconds(1500), 8, 8},   // paper
+        Params{Microseconds(100), Microseconds(800), 8, 8},    // tight
+        Params{Microseconds(500), Milliseconds(3), 8, 8},      // loose (P3600)
+        Params{Microseconds(250), Microseconds(1500), 1, 8},   // slow probe
+        Params{Microseconds(250), Microseconds(1500), 16, 8},  // fast probe
+        Params{Microseconds(250), Microseconds(1500), 8, 2},   // few slots
+        Params{Microseconds(250), Microseconds(1500), 8, 64}));  // many slots
+
+// --------------------------------------------------------------------------
+// Cross-scheme liveness: every policy must complete a hostile little mix
+// without stranding IOs.
+// --------------------------------------------------------------------------
+
+class SchemeLiveness
+    : public ::testing::TestWithParam<workload::Scheme> {};
+
+TEST_P(SchemeLiveness, HostileMixDrains) {
+  workload::TestbedConfig cfg;
+  cfg.scheme = GetParam();
+  cfg.ssd.logical_bytes = 128ull << 20;
+  cfg.condition = workload::SsdCondition::kFragmented;
+  workload::Testbed bed(cfg);
+  // Odd sizes, mixed types, bursty QD.
+  uint32_t sizes[] = {4096, 12288, 65536, 131072};
+  for (int i = 0; i < 4; ++i) {
+    workload::FioSpec spec;
+    spec.io_bytes = sizes[i];
+    spec.read_ratio = i % 2 == 0 ? 0.9 : 0.2;
+    spec.queue_depth = 1 + static_cast<uint32_t>(i) * 7;
+    spec.seed = static_cast<uint64_t>(i) + 1;
+    bed.AddWorker(spec);
+  }
+  for (auto& w : bed.workers()) w->Start();
+  bed.sim().RunUntil(Milliseconds(150));
+  for (auto& w : bed.workers()) w->Stop();
+  bed.sim().RunUntil(Seconds(3));
+  EXPECT_TRUE(bed.sim().idle()) << "stranded events / undrained IOs";
+  for (auto& w : bed.workers()) {
+    EXPECT_GT(w->stats().total_ios(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SchemeLiveness,
+    ::testing::Values(workload::Scheme::kVanilla, workload::Scheme::kReflex,
+                      workload::Scheme::kParda, workload::Scheme::kFlashFq,
+                      workload::Scheme::kGimbal,
+                      workload::Scheme::kTimeslice));
+
+}  // namespace
+}  // namespace gimbal

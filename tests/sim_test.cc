@@ -1,0 +1,206 @@
+// Unit tests for the discrete-event engine: ordering, determinism,
+// resources, and coroutine integration.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/coro.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+
+namespace gimbal::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(Microseconds(30), [&]() { order.push_back(3); });
+  sim.At(Microseconds(10), [&]() { order.push_back(1); });
+  sim.At(Microseconds(20), [&]() { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), Microseconds(30));
+}
+
+TEST(Simulator, SameTimestampFifoOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    sim.At(Microseconds(5), [&, i]() { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, AfterSchedulesRelative) {
+  Simulator sim;
+  Tick fired_at = -1;
+  sim.At(Microseconds(10), [&]() {
+    sim.After(Microseconds(5), [&]() { fired_at = sim.now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(fired_at, Microseconds(15));
+}
+
+TEST(Simulator, NestedEventsFromCallbacks) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 50) sim.After(Microseconds(1), recurse);
+  };
+  sim.After(0, recurse);
+  sim.Run();
+  EXPECT_EQ(depth, 50);
+  EXPECT_EQ(sim.now(), Microseconds(49));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.At(Microseconds(10), [&]() { ++fired; });
+  sim.At(Microseconds(20), [&]() { ++fired; });
+  sim.RunUntil(Microseconds(15));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), Microseconds(15));
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilAdvancesClockOnEmptyQueue) {
+  Simulator sim;
+  sim.RunUntil(Milliseconds(7));
+  EXPECT_EQ(sim.now(), Milliseconds(7));
+}
+
+TEST(Simulator, EventCountTracking) {
+  Simulator sim;
+  for (int i = 0; i < 10; ++i) sim.At(i, []() {});
+  sim.Run();
+  EXPECT_EQ(sim.events_executed(), 10u);
+}
+
+TEST(FifoResource, SerializesWork) {
+  Simulator sim;
+  FifoResource res(sim);
+  std::vector<Tick> completions;
+  for (int i = 0; i < 3; ++i) {
+    res.Acquire(Microseconds(10), [&]() { completions.push_back(sim.now()); });
+  }
+  sim.Run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0], Microseconds(10));
+  EXPECT_EQ(completions[1], Microseconds(20));
+  EXPECT_EQ(completions[2], Microseconds(30));
+}
+
+TEST(FifoResource, IdleThenBusy) {
+  Simulator sim;
+  FifoResource res(sim);
+  EXPECT_FALSE(res.busy());
+  res.Acquire(Microseconds(5), nullptr);
+  EXPECT_TRUE(res.busy());
+  sim.Run();
+  EXPECT_FALSE(res.busy());
+}
+
+TEST(FifoResource, InterleavedArrivals) {
+  Simulator sim;
+  FifoResource res(sim);
+  std::vector<int> order;
+  res.Acquire(Microseconds(10), [&]() { order.push_back(1); });
+  sim.At(Microseconds(5), [&]() {
+    res.Acquire(Microseconds(10), [&]() { order.push_back(2); });
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), Microseconds(20));
+}
+
+TEST(FifoResource, BusyTimeAccounting) {
+  Simulator sim;
+  FifoResource res(sim);
+  res.Acquire(Microseconds(10), nullptr);
+  res.Acquire(Microseconds(15), nullptr);
+  sim.Run();
+  EXPECT_EQ(res.busy_time_total(), Microseconds(25));
+}
+
+TEST(Coro, DelayResumesAtRightTime) {
+  Simulator sim;
+  Tick resumed = -1;
+  auto coro = [&]() -> Task {
+    co_await Delay{sim, Microseconds(42)};
+    resumed = sim.now();
+  };
+  coro();
+  sim.Run();
+  EXPECT_EQ(resumed, Microseconds(42));
+}
+
+TEST(Coro, SequentialDelays) {
+  Simulator sim;
+  std::vector<Tick> marks;
+  auto coro = [&]() -> Task {
+    for (int i = 0; i < 3; ++i) {
+      co_await Delay{sim, Microseconds(10)};
+      marks.push_back(sim.now());
+    }
+  };
+  coro();
+  sim.Run();
+  EXPECT_EQ(marks, (std::vector<Tick>{Microseconds(10), Microseconds(20),
+                                      Microseconds(30)}));
+}
+
+TEST(Coro, AsyncEventDeliversValue) {
+  Simulator sim;
+  AsyncEvent<int> ev(sim);
+  int got = 0;
+  auto coro = [&]() -> Task {
+    got = co_await ev;
+  };
+  coro();
+  sim.At(Microseconds(5), [&]() { ev.Set(99); });
+  sim.Run();
+  EXPECT_EQ(got, 99);
+}
+
+TEST(Coro, AsyncEventAlreadySet) {
+  Simulator sim;
+  AsyncEvent<int> ev(sim);
+  ev.Set(7);
+  int got = 0;
+  auto coro = [&]() -> Task {
+    got = co_await ev;
+  };
+  coro();
+  sim.Run();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(Coro, LatchFanIn) {
+  Simulator sim;
+  AsyncLatch latch(sim, 3);
+  bool done = false;
+  auto coro = [&]() -> Task {
+    co_await latch;
+    done = true;
+  };
+  coro();
+  sim.At(Microseconds(1), [&]() { latch.CountDown(); });
+  sim.At(Microseconds(2), [&]() { latch.CountDown(); });
+  sim.RunUntil(Microseconds(5));
+  EXPECT_FALSE(done);
+  sim.At(Microseconds(6), [&]() { latch.CountDown(); });
+  sim.Run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace gimbal::sim

@@ -1,0 +1,213 @@
+// Tests for the workload layer: fio worker behaviour, YCSB generators,
+// MDTS splitting at the initiator, and the report utilities.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baselines/fcfs_policy.h"
+#include "ssd/null_device.h"
+#include "workload/report.h"
+#include "workload/runner.h"
+#include "workload/ycsb.h"
+
+namespace gimbal::workload {
+namespace {
+
+TEST(FioWorkerTest, MixedRatioApproximatelyHonoured) {
+  TestbedConfig cfg;
+  cfg.scheme = Scheme::kVanilla;
+  cfg.use_null_device = true;
+  Testbed bed(cfg);
+  FioSpec spec;
+  spec.read_ratio = 0.7;
+  spec.io_bytes = 4096;
+  spec.queue_depth = 16;
+  spec.region_bytes = 1ull << 30;
+  FioWorker& w = bed.AddWorker(spec);
+  bed.Run(Milliseconds(20), Milliseconds(200));
+  double total = static_cast<double>(w.stats().total_ios());
+  ASSERT_GT(total, 1000);
+  EXPECT_NEAR(static_cast<double>(w.stats().read_ios) / total, 0.7, 0.05);
+}
+
+TEST(FioWorkerTest, SequentialCursorWraps) {
+  TestbedConfig cfg;
+  cfg.scheme = Scheme::kVanilla;
+  cfg.use_null_device = true;
+  Testbed bed(cfg);
+  FioSpec spec;
+  spec.sequential = true;
+  spec.io_bytes = 4096;
+  spec.queue_depth = 4;
+  spec.region_bytes = 64 * 1024;  // tiny region: must wrap, not overflow
+  FioWorker& w = bed.AddWorker(spec);
+  bed.Run(Milliseconds(10), Milliseconds(50));
+  EXPECT_GT(w.stats().total_ios(), 16u);
+}
+
+TEST(FioWorkerTest, DistinctSeedsDistinctSequentialStarts) {
+  TestbedConfig cfg;
+  cfg.scheme = Scheme::kVanilla;
+  cfg.use_null_device = true;
+  Testbed bed(cfg);
+  // Two sequential workers with different seeds must not write the same
+  // offsets in lockstep (the interference benches rely on this).
+  FioSpec a;
+  a.sequential = true;
+  a.io_bytes = 4096;
+  a.queue_depth = 1;
+  a.seed = 1;
+  FioSpec b = a;
+  b.seed = 2;
+  bed.AddWorker(a);
+  bed.AddWorker(b);
+  bed.Run(Milliseconds(1), Milliseconds(10));
+  // Cannot observe offsets directly through stats; this is a smoke test
+  // that both made progress (behavioural check lives in the SSD WA tests).
+  EXPECT_GT(bed.workers()[0]->stats().total_ios(), 0u);
+  EXPECT_GT(bed.workers()[1]->stats().total_ios(), 0u);
+}
+
+TEST(FioWorkerTest, StopQuiesces) {
+  TestbedConfig cfg;
+  cfg.scheme = Scheme::kVanilla;
+  cfg.use_null_device = true;
+  Testbed bed(cfg);
+  FioSpec spec;
+  spec.io_bytes = 4096;
+  spec.queue_depth = 8;
+  spec.region_bytes = 1 << 20;
+  FioWorker& w = bed.AddWorker(spec);
+  w.Start();
+  bed.sim().RunUntil(Milliseconds(10));
+  w.Stop();
+  uint64_t at_stop = w.stats().total_ios();
+  bed.sim().RunUntil(Milliseconds(20));
+  // Only the outstanding QD can complete after Stop.
+  EXPECT_LE(w.stats().total_ios(), at_stop + spec.queue_depth);
+  bed.sim().RunUntil(Milliseconds(40));
+  EXPECT_TRUE(bed.sim().idle());
+}
+
+TEST(InitiatorSplit, LargeIoSplitsIntoMdtsChunks) {
+  sim::Simulator sim;
+  fabric::Network net(sim);
+  fabric::Target target(sim, net);
+  ssd::NullDevice dev(sim, 1ull << 30);
+  target.AddPipeline(std::make_unique<baselines::FcfsPolicy>(sim, dev));
+  fabric::Initiator init(sim, net, target, 0, 1);
+  int completions = 0;
+  uint32_t reported_length = 0;
+  init.Submit(IoType::kRead, 0, 512 * 1024, IoPriority::kNormal,
+              [&](const IoCompletion& cpl, Tick) {
+                ++completions;
+                reported_length = cpl.length;
+              });
+  sim.Run();
+  EXPECT_EQ(completions, 1);               // one aggregated completion
+  EXPECT_EQ(reported_length, 512u * 1024); // full length reported
+  EXPECT_EQ(target.stats().ios, 4u);       // but 4 fabric commands
+}
+
+TEST(InitiatorSplit, UnalignedTailChunk) {
+  sim::Simulator sim;
+  fabric::Network net(sim);
+  fabric::Target target(sim, net);
+  ssd::NullDevice dev(sim, 1ull << 30);
+  target.AddPipeline(std::make_unique<baselines::FcfsPolicy>(sim, dev));
+  fabric::Initiator init(sim, net, target, 0, 1);
+  int completions = 0;
+  init.Submit(IoType::kWrite, 0, 128 * 1024 + 4096, IoPriority::kNormal,
+              [&](const IoCompletion&, Tick) { ++completions; });
+  sim.Run();
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(target.stats().ios, 2u);
+  EXPECT_EQ(target.stats().bytes, 128u * 1024 + 4096);
+}
+
+TEST(Ycsb, WorkloadMixesMatchSpecs) {
+  struct Expect {
+    YcsbWorkload wl;
+    double reads_lo, reads_hi;
+  };
+  for (auto [wl, lo, hi] : {Expect{YcsbWorkload::kA, 0.45, 0.55},
+                            Expect{YcsbWorkload::kB, 0.92, 0.98},
+                            Expect{YcsbWorkload::kC, 1.0, 1.0},
+                            Expect{YcsbWorkload::kF, 0.45, 0.55}}) {
+    YcsbSpec spec;
+    spec.workload = wl;
+    spec.record_count = 1000;
+    YcsbGenerator gen(spec);
+    int reads = 0, total = 20000;
+    for (int i = 0; i < total; ++i) {
+      if (gen.Next().op == YcsbOp::kRead) ++reads;
+    }
+    double frac = static_cast<double>(reads) / total;
+    EXPECT_GE(frac, lo) << ToString(wl);
+    EXPECT_LE(frac, hi) << ToString(wl);
+  }
+}
+
+TEST(Ycsb, InsertsGrowKeyspace) {
+  YcsbSpec spec;
+  spec.workload = YcsbWorkload::kD;
+  spec.record_count = 1000;
+  YcsbGenerator gen(spec);
+  uint64_t inserts = 0;
+  for (int i = 0; i < 20000; ++i) {
+    auto op = gen.Next();
+    if (op.op == YcsbOp::kInsert) {
+      ++inserts;
+      EXPECT_EQ(op.key, gen.record_count() - 1);  // appended at the end
+    }
+    EXPECT_LT(op.key, gen.record_count());
+  }
+  EXPECT_GT(inserts, 500u);
+  EXPECT_EQ(gen.record_count(), 1000 + inserts);
+}
+
+TEST(Ycsb, LatestDistributionFavoursRecentKeys) {
+  YcsbSpec spec;
+  spec.workload = YcsbWorkload::kD;
+  spec.record_count = 10000;
+  YcsbGenerator gen(spec);
+  uint64_t recent = 0, reads = 0;
+  for (int i = 0; i < 30000; ++i) {
+    auto op = gen.Next();
+    if (op.op != YcsbOp::kRead) continue;
+    ++reads;
+    if (op.key >= gen.record_count() - gen.record_count() / 10) ++recent;
+  }
+  // Far more than 10% of reads hit the most recent 10% of keys.
+  EXPECT_GT(static_cast<double>(recent) / static_cast<double>(reads), 0.5);
+}
+
+TEST(Ycsb, ZipfianReadsSkewed) {
+  YcsbSpec spec;
+  spec.workload = YcsbWorkload::kC;
+  spec.record_count = 10000;
+  YcsbGenerator gen(spec);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) ++counts[gen.Next().key];
+  int max_count = 0;
+  for (auto& [k, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 500);  // hottest key way above uniform (5)
+}
+
+TEST(Report, TableFormatsNumbers) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::MBps(1048576.0), "1.0");
+  EXPECT_EQ(Table::Us(1500.0), "1.5");
+  EXPECT_EQ(Table::Kiops(2000.0), "2.0");
+}
+
+TEST(SchemeNames, AllDistinct) {
+  std::set<std::string> names;
+  for (Scheme s : {Scheme::kVanilla, Scheme::kReflex, Scheme::kParda,
+                   Scheme::kFlashFq, Scheme::kGimbal}) {
+    EXPECT_TRUE(names.insert(ToString(s)).second);
+  }
+}
+
+}  // namespace
+}  // namespace gimbal::workload
