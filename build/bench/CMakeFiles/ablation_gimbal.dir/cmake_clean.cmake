@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gimbal.dir/ablation_gimbal.cpp.o"
+  "CMakeFiles/ablation_gimbal.dir/ablation_gimbal.cpp.o.d"
+  "ablation_gimbal"
+  "ablation_gimbal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gimbal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_cores_throughput.dir/fig03_cores_throughput.cpp.o"
+  "CMakeFiles/fig03_cores_throughput.dir/fig03_cores_throughput.cpp.o.d"
+  "fig03_cores_throughput"
+  "fig03_cores_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_cores_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

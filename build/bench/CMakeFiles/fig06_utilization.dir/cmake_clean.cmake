@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_utilization.dir/fig06_utilization.cpp.o"
+  "CMakeFiles/fig06_utilization.dir/fig06_utilization.cpp.o.d"
+  "fig06_utilization"
+  "fig06_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

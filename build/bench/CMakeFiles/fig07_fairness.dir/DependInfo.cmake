@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig07_fairness.cpp" "bench/CMakeFiles/fig07_fairness.dir/fig07_fairness.cpp.o" "gcc" "bench/CMakeFiles/fig07_fairness.dir/fig07_fairness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gimbal_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gimbal_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gimbal_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gimbal_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gimbal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gimbal_ssd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

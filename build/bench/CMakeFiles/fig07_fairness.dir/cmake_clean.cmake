@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_fairness.dir/fig07_fairness.cpp.o"
+  "CMakeFiles/fig07_fairness.dir/fig07_fairness.cpp.o.d"
+  "fig07_fairness"
+  "fig07_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_dynamic.dir/fig09_dynamic.cpp.o"
+  "CMakeFiles/fig09_dynamic.dir/fig09_dynamic.cpp.o.d"
+  "fig09_dynamic"
+  "fig09_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

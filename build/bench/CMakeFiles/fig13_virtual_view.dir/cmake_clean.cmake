@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_virtual_view.dir/fig13_virtual_view.cpp.o"
+  "CMakeFiles/fig13_virtual_view.dir/fig13_virtual_view.cpp.o.d"
+  "fig13_virtual_view"
+  "fig13_virtual_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_virtual_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

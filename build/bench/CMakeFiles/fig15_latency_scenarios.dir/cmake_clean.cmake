@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_latency_scenarios.dir/fig15_latency_scenarios.cpp.o"
+  "CMakeFiles/fig15_latency_scenarios.dir/fig15_latency_scenarios.cpp.o.d"
+  "fig15_latency_scenarios"
+  "fig15_latency_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_latency_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_perio_cost.dir/fig16_perio_cost.cpp.o"
+  "CMakeFiles/fig16_perio_cost.dir/fig16_perio_cost.cpp.o.d"
+  "fig16_perio_cost"
+  "fig16_perio_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_perio_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_congestion.dir/fig17_congestion.cpp.o"
+  "CMakeFiles/fig17_congestion.dir/fig17_congestion.cpp.o.d"
+  "fig17_congestion"
+  "fig17_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_threshold.dir/fig18_threshold.cpp.o"
+  "CMakeFiles/fig18_threshold.dir/fig18_threshold.cpp.o.d"
+  "fig18_threshold"
+  "fig18_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_intensity.dir/fig19_intensity.cpp.o"
+  "CMakeFiles/fig19_intensity.dir/fig19_intensity.cpp.o.d"
+  "fig19_intensity"
+  "fig19_intensity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_intensity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

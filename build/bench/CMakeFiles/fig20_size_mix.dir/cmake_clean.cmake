@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_size_mix.dir/fig20_size_mix.cpp.o"
+  "CMakeFiles/fig20_size_mix.dir/fig20_size_mix.cpp.o.d"
+  "fig20_size_mix"
+  "fig20_size_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_size_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_pattern_mix.dir/fig21_pattern_mix.cpp.o"
+  "CMakeFiles/fig21_pattern_mix.dir/fig21_pattern_mix.cpp.o.d"
+  "fig21_pattern_mix"
+  "fig21_pattern_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_pattern_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

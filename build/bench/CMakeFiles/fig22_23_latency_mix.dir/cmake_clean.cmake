@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_23_latency_mix.dir/fig22_23_latency_mix.cpp.o"
+  "CMakeFiles/fig22_23_latency_mix.dir/fig22_23_latency_mix.cpp.o.d"
+  "fig22_23_latency_mix"
+  "fig22_23_latency_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_23_latency_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_breakdown.dir/fig_breakdown.cpp.o"
+  "CMakeFiles/fig_breakdown.dir/fig_breakdown.cpp.o.d"
+  "fig_breakdown"
+  "fig_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_generalization.dir/fig_generalization.cpp.o"
+  "CMakeFiles/fig_generalization.dir/fig_generalization.cpp.o.d"
+  "fig_generalization"
+  "fig_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_openloop_latency.dir/fig_openloop_latency.cpp.o"
+  "CMakeFiles/fig_openloop_latency.dir/fig_openloop_latency.cpp.o.d"
+  "fig_openloop_latency"
+  "fig_openloop_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_openloop_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

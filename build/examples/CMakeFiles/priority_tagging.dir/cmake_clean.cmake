@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priority_tagging.dir/priority_tagging.cpp.o"
+  "CMakeFiles/priority_tagging.dir/priority_tagging.cpp.o.d"
+  "priority_tagging"
+  "priority_tagging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_tagging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

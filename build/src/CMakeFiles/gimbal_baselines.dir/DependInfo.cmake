@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/fcfs_policy.cc" "src/CMakeFiles/gimbal_baselines.dir/baselines/fcfs_policy.cc.o" "gcc" "src/CMakeFiles/gimbal_baselines.dir/baselines/fcfs_policy.cc.o.d"
+  "/root/repo/src/baselines/flashfq_policy.cc" "src/CMakeFiles/gimbal_baselines.dir/baselines/flashfq_policy.cc.o" "gcc" "src/CMakeFiles/gimbal_baselines.dir/baselines/flashfq_policy.cc.o.d"
+  "/root/repo/src/baselines/parda_policy.cc" "src/CMakeFiles/gimbal_baselines.dir/baselines/parda_policy.cc.o" "gcc" "src/CMakeFiles/gimbal_baselines.dir/baselines/parda_policy.cc.o.d"
+  "/root/repo/src/baselines/reflex_policy.cc" "src/CMakeFiles/gimbal_baselines.dir/baselines/reflex_policy.cc.o" "gcc" "src/CMakeFiles/gimbal_baselines.dir/baselines/reflex_policy.cc.o.d"
+  "/root/repo/src/baselines/timeslice_policy.cc" "src/CMakeFiles/gimbal_baselines.dir/baselines/timeslice_policy.cc.o" "gcc" "src/CMakeFiles/gimbal_baselines.dir/baselines/timeslice_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gimbal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gimbal_ssd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gimbal_baselines.dir/baselines/fcfs_policy.cc.o"
+  "CMakeFiles/gimbal_baselines.dir/baselines/fcfs_policy.cc.o.d"
+  "CMakeFiles/gimbal_baselines.dir/baselines/flashfq_policy.cc.o"
+  "CMakeFiles/gimbal_baselines.dir/baselines/flashfq_policy.cc.o.d"
+  "CMakeFiles/gimbal_baselines.dir/baselines/parda_policy.cc.o"
+  "CMakeFiles/gimbal_baselines.dir/baselines/parda_policy.cc.o.d"
+  "CMakeFiles/gimbal_baselines.dir/baselines/reflex_policy.cc.o"
+  "CMakeFiles/gimbal_baselines.dir/baselines/reflex_policy.cc.o.d"
+  "CMakeFiles/gimbal_baselines.dir/baselines/timeslice_policy.cc.o"
+  "CMakeFiles/gimbal_baselines.dir/baselines/timeslice_policy.cc.o.d"
+  "libgimbal_baselines.a"
+  "libgimbal_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gimbal_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgimbal_baselines.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/drr_scheduler.cc" "src/CMakeFiles/gimbal_core.dir/core/drr_scheduler.cc.o" "gcc" "src/CMakeFiles/gimbal_core.dir/core/drr_scheduler.cc.o.d"
+  "/root/repo/src/core/gimbal_switch.cc" "src/CMakeFiles/gimbal_core.dir/core/gimbal_switch.cc.o" "gcc" "src/CMakeFiles/gimbal_core.dir/core/gimbal_switch.cc.o.d"
+  "/root/repo/src/core/latency_monitor.cc" "src/CMakeFiles/gimbal_core.dir/core/latency_monitor.cc.o" "gcc" "src/CMakeFiles/gimbal_core.dir/core/latency_monitor.cc.o.d"
+  "/root/repo/src/core/rate_controller.cc" "src/CMakeFiles/gimbal_core.dir/core/rate_controller.cc.o" "gcc" "src/CMakeFiles/gimbal_core.dir/core/rate_controller.cc.o.d"
+  "/root/repo/src/core/token_bucket.cc" "src/CMakeFiles/gimbal_core.dir/core/token_bucket.cc.o" "gcc" "src/CMakeFiles/gimbal_core.dir/core/token_bucket.cc.o.d"
+  "/root/repo/src/core/virtual_slot.cc" "src/CMakeFiles/gimbal_core.dir/core/virtual_slot.cc.o" "gcc" "src/CMakeFiles/gimbal_core.dir/core/virtual_slot.cc.o.d"
+  "/root/repo/src/core/write_cost.cc" "src/CMakeFiles/gimbal_core.dir/core/write_cost.cc.o" "gcc" "src/CMakeFiles/gimbal_core.dir/core/write_cost.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gimbal_ssd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gimbal_core.dir/core/drr_scheduler.cc.o"
+  "CMakeFiles/gimbal_core.dir/core/drr_scheduler.cc.o.d"
+  "CMakeFiles/gimbal_core.dir/core/gimbal_switch.cc.o"
+  "CMakeFiles/gimbal_core.dir/core/gimbal_switch.cc.o.d"
+  "CMakeFiles/gimbal_core.dir/core/latency_monitor.cc.o"
+  "CMakeFiles/gimbal_core.dir/core/latency_monitor.cc.o.d"
+  "CMakeFiles/gimbal_core.dir/core/rate_controller.cc.o"
+  "CMakeFiles/gimbal_core.dir/core/rate_controller.cc.o.d"
+  "CMakeFiles/gimbal_core.dir/core/token_bucket.cc.o"
+  "CMakeFiles/gimbal_core.dir/core/token_bucket.cc.o.d"
+  "CMakeFiles/gimbal_core.dir/core/virtual_slot.cc.o"
+  "CMakeFiles/gimbal_core.dir/core/virtual_slot.cc.o.d"
+  "CMakeFiles/gimbal_core.dir/core/write_cost.cc.o"
+  "CMakeFiles/gimbal_core.dir/core/write_cost.cc.o.d"
+  "libgimbal_core.a"
+  "libgimbal_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gimbal_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

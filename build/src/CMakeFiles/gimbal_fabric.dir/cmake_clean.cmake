@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gimbal_fabric.dir/fabric/initiator.cc.o"
+  "CMakeFiles/gimbal_fabric.dir/fabric/initiator.cc.o.d"
+  "CMakeFiles/gimbal_fabric.dir/fabric/network.cc.o"
+  "CMakeFiles/gimbal_fabric.dir/fabric/network.cc.o.d"
+  "CMakeFiles/gimbal_fabric.dir/fabric/target.cc.o"
+  "CMakeFiles/gimbal_fabric.dir/fabric/target.cc.o.d"
+  "libgimbal_fabric.a"
+  "libgimbal_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gimbal_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

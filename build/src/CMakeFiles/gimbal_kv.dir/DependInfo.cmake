@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/blobstore.cc" "src/CMakeFiles/gimbal_kv.dir/kv/blobstore.cc.o" "gcc" "src/CMakeFiles/gimbal_kv.dir/kv/blobstore.cc.o.d"
+  "/root/repo/src/kv/bloom.cc" "src/CMakeFiles/gimbal_kv.dir/kv/bloom.cc.o" "gcc" "src/CMakeFiles/gimbal_kv.dir/kv/bloom.cc.o.d"
+  "/root/repo/src/kv/cluster.cc" "src/CMakeFiles/gimbal_kv.dir/kv/cluster.cc.o" "gcc" "src/CMakeFiles/gimbal_kv.dir/kv/cluster.cc.o.d"
+  "/root/repo/src/kv/db.cc" "src/CMakeFiles/gimbal_kv.dir/kv/db.cc.o" "gcc" "src/CMakeFiles/gimbal_kv.dir/kv/db.cc.o.d"
+  "/root/repo/src/kv/hba.cc" "src/CMakeFiles/gimbal_kv.dir/kv/hba.cc.o" "gcc" "src/CMakeFiles/gimbal_kv.dir/kv/hba.cc.o.d"
+  "/root/repo/src/kv/sstable.cc" "src/CMakeFiles/gimbal_kv.dir/kv/sstable.cc.o" "gcc" "src/CMakeFiles/gimbal_kv.dir/kv/sstable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gimbal_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gimbal_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gimbal_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gimbal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gimbal_ssd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

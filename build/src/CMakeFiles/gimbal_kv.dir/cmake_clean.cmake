@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gimbal_kv.dir/kv/blobstore.cc.o"
+  "CMakeFiles/gimbal_kv.dir/kv/blobstore.cc.o.d"
+  "CMakeFiles/gimbal_kv.dir/kv/bloom.cc.o"
+  "CMakeFiles/gimbal_kv.dir/kv/bloom.cc.o.d"
+  "CMakeFiles/gimbal_kv.dir/kv/cluster.cc.o"
+  "CMakeFiles/gimbal_kv.dir/kv/cluster.cc.o.d"
+  "CMakeFiles/gimbal_kv.dir/kv/db.cc.o"
+  "CMakeFiles/gimbal_kv.dir/kv/db.cc.o.d"
+  "CMakeFiles/gimbal_kv.dir/kv/hba.cc.o"
+  "CMakeFiles/gimbal_kv.dir/kv/hba.cc.o.d"
+  "CMakeFiles/gimbal_kv.dir/kv/sstable.cc.o"
+  "CMakeFiles/gimbal_kv.dir/kv/sstable.cc.o.d"
+  "libgimbal_kv.a"
+  "libgimbal_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gimbal_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

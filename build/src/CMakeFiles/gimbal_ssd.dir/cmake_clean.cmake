@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gimbal_ssd.dir/ssd/ftl.cc.o"
+  "CMakeFiles/gimbal_ssd.dir/ssd/ftl.cc.o.d"
+  "CMakeFiles/gimbal_ssd.dir/ssd/ssd.cc.o"
+  "CMakeFiles/gimbal_ssd.dir/ssd/ssd.cc.o.d"
+  "libgimbal_ssd.a"
+  "libgimbal_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gimbal_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

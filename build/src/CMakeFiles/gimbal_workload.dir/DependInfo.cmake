@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/fio.cc" "src/CMakeFiles/gimbal_workload.dir/workload/fio.cc.o" "gcc" "src/CMakeFiles/gimbal_workload.dir/workload/fio.cc.o.d"
+  "/root/repo/src/workload/openloop.cc" "src/CMakeFiles/gimbal_workload.dir/workload/openloop.cc.o" "gcc" "src/CMakeFiles/gimbal_workload.dir/workload/openloop.cc.o.d"
+  "/root/repo/src/workload/report.cc" "src/CMakeFiles/gimbal_workload.dir/workload/report.cc.o" "gcc" "src/CMakeFiles/gimbal_workload.dir/workload/report.cc.o.d"
+  "/root/repo/src/workload/runner.cc" "src/CMakeFiles/gimbal_workload.dir/workload/runner.cc.o" "gcc" "src/CMakeFiles/gimbal_workload.dir/workload/runner.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/CMakeFiles/gimbal_workload.dir/workload/trace.cc.o" "gcc" "src/CMakeFiles/gimbal_workload.dir/workload/trace.cc.o.d"
+  "/root/repo/src/workload/ycsb.cc" "src/CMakeFiles/gimbal_workload.dir/workload/ycsb.cc.o" "gcc" "src/CMakeFiles/gimbal_workload.dir/workload/ycsb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gimbal_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gimbal_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gimbal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gimbal_ssd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

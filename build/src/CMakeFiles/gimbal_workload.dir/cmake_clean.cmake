@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gimbal_workload.dir/workload/fio.cc.o"
+  "CMakeFiles/gimbal_workload.dir/workload/fio.cc.o.d"
+  "CMakeFiles/gimbal_workload.dir/workload/openloop.cc.o"
+  "CMakeFiles/gimbal_workload.dir/workload/openloop.cc.o.d"
+  "CMakeFiles/gimbal_workload.dir/workload/report.cc.o"
+  "CMakeFiles/gimbal_workload.dir/workload/report.cc.o.d"
+  "CMakeFiles/gimbal_workload.dir/workload/runner.cc.o"
+  "CMakeFiles/gimbal_workload.dir/workload/runner.cc.o.d"
+  "CMakeFiles/gimbal_workload.dir/workload/trace.cc.o"
+  "CMakeFiles/gimbal_workload.dir/workload/trace.cc.o.d"
+  "CMakeFiles/gimbal_workload.dir/workload/ycsb.cc.o"
+  "CMakeFiles/gimbal_workload.dir/workload/ycsb.cc.o.d"
+  "libgimbal_workload.a"
+  "libgimbal_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gimbal_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/gimbal_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/gimbal_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/gimbal_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/gimbal_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/disconnect_test.cc" "tests/CMakeFiles/gimbal_tests.dir/disconnect_test.cc.o" "gcc" "tests/CMakeFiles/gimbal_tests.dir/disconnect_test.cc.o.d"
+  "/root/repo/tests/e2e_test.cc" "tests/CMakeFiles/gimbal_tests.dir/e2e_test.cc.o" "gcc" "tests/CMakeFiles/gimbal_tests.dir/e2e_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/gimbal_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/gimbal_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/fabric_test.cc" "tests/CMakeFiles/gimbal_tests.dir/fabric_test.cc.o" "gcc" "tests/CMakeFiles/gimbal_tests.dir/fabric_test.cc.o.d"
+  "/root/repo/tests/ftl_test.cc" "tests/CMakeFiles/gimbal_tests.dir/ftl_test.cc.o" "gcc" "tests/CMakeFiles/gimbal_tests.dir/ftl_test.cc.o.d"
+  "/root/repo/tests/kv_db_test.cc" "tests/CMakeFiles/gimbal_tests.dir/kv_db_test.cc.o" "gcc" "tests/CMakeFiles/gimbal_tests.dir/kv_db_test.cc.o.d"
+  "/root/repo/tests/kv_test.cc" "tests/CMakeFiles/gimbal_tests.dir/kv_test.cc.o" "gcc" "tests/CMakeFiles/gimbal_tests.dir/kv_test.cc.o.d"
+  "/root/repo/tests/prio_resource_test.cc" "tests/CMakeFiles/gimbal_tests.dir/prio_resource_test.cc.o" "gcc" "tests/CMakeFiles/gimbal_tests.dir/prio_resource_test.cc.o.d"
+  "/root/repo/tests/property_sweep_test.cc" "tests/CMakeFiles/gimbal_tests.dir/property_sweep_test.cc.o" "gcc" "tests/CMakeFiles/gimbal_tests.dir/property_sweep_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/gimbal_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/gimbal_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/ssd_test.cc" "tests/CMakeFiles/gimbal_tests.dir/ssd_test.cc.o" "gcc" "tests/CMakeFiles/gimbal_tests.dir/ssd_test.cc.o.d"
+  "/root/repo/tests/switch_test.cc" "tests/CMakeFiles/gimbal_tests.dir/switch_test.cc.o" "gcc" "tests/CMakeFiles/gimbal_tests.dir/switch_test.cc.o.d"
+  "/root/repo/tests/target_test.cc" "tests/CMakeFiles/gimbal_tests.dir/target_test.cc.o" "gcc" "tests/CMakeFiles/gimbal_tests.dir/target_test.cc.o.d"
+  "/root/repo/tests/trace_openloop_test.cc" "tests/CMakeFiles/gimbal_tests.dir/trace_openloop_test.cc.o" "gcc" "tests/CMakeFiles/gimbal_tests.dir/trace_openloop_test.cc.o.d"
+  "/root/repo/tests/trim_test.cc" "tests/CMakeFiles/gimbal_tests.dir/trim_test.cc.o" "gcc" "tests/CMakeFiles/gimbal_tests.dir/trim_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/gimbal_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/gimbal_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gimbal_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gimbal_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gimbal_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gimbal_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gimbal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gimbal_ssd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
