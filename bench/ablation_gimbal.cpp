@@ -52,7 +52,8 @@ void Report(Table& t, const char* label, const MixResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs_session(argc, argv);
   workload::PrintHeader(
       "Ablation - contribution of Gimbal's design choices",
       "Gimbal (SIGCOMM'21) §3.2-3.4 design arguments (extension)",

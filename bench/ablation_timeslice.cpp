@@ -38,7 +38,8 @@ Row Run(Scheme scheme, Tick quantum) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs_session(argc, argv);
   workload::PrintHeader(
       "Ablation - timeslice scheduling vs Gimbal (8 x 4KB readers)",
       "Gimbal (SIGCOMM'21) §2.3 discussion (extension)",

@@ -2,10 +2,14 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "common/histogram.h"
 #include "common/time.h"
+#include "obs/obs.h"
 #include "workload/fio.h"
 #include "workload/report.h"
 #include "workload/runner.h"
@@ -19,6 +23,93 @@ using workload::SsdCondition;
 using workload::Table;
 using workload::Testbed;
 using workload::TestbedConfig;
+
+// Observability sinks shared by every testbed the binary builds, or nullptr
+// when the user asked for no machine-readable output (the default — the
+// tracer's and registry's hot paths then cost one branch each).
+inline obs::Observability* g_obs = nullptr;
+
+inline obs::Observability* CurrentObs() { return g_obs; }
+
+// Per-binary observability session. Construct first thing in main():
+//
+//   int main(int argc, char** argv) {
+//     gimbal::bench::ObsSession obs(argc, argv);
+//     ...
+//
+// Flags (see docs/OBSERVABILITY.md):
+//   --metrics-out=PATH   write the final metrics snapshot (.csv => CSV,
+//                        anything else => JSON)
+//   --trace-out=PATH     enable the event tracer and write the trace
+//                        (.jsonl => compact JSONL, anything else =>
+//                        chrome://tracing JSON)
+//   --trace-limit=N      cap the trace at N events (default 1M); events
+//                        past the cap are counted, not stored
+//
+// Files are written when the session goes out of scope at the end of main.
+class ObsSession {
+ public:
+  ObsSession(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (TakeValue(a, "--metrics-out=", &metrics_path_)) continue;
+      if (TakeValue(a, "--trace-out=", &trace_path_)) continue;
+      std::string limit;
+      if (TakeValue(a, "--trace-limit=", &limit)) {
+        char* end = nullptr;
+        const uint64_t n = std::strtoull(limit.c_str(), &end, 10);
+        if (end == limit.c_str() || *end != '\0' || n == 0) {
+          std::fprintf(stderr,
+                       "warning: bad --trace-limit '%s', keeping %llu\n",
+                       limit.c_str(),
+                       static_cast<unsigned long long>(trace_limit_));
+        } else {
+          trace_limit_ = n;
+        }
+        continue;
+      }
+      std::fprintf(stderr, "warning: ignoring unknown flag '%s'\n", a.c_str());
+    }
+    if (metrics_path_.empty() && trace_path_.empty()) return;
+    if (!trace_path_.empty()) obs_.tracer.Enable(trace_limit_);
+    g_obs = &obs_;
+  }
+
+  ~ObsSession() {
+    if (g_obs == &obs_) g_obs = nullptr;
+    if (!metrics_path_.empty()) {
+      WriteOut(metrics_path_, obs_.metrics.WriteFile(metrics_path_));
+    }
+    if (!trace_path_.empty()) {
+      WriteOut(trace_path_, obs_.tracer.WriteFile(trace_path_));
+    }
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  obs::Observability* obs() { return g_obs; }
+
+ private:
+  static bool TakeValue(const std::string& arg, const char* prefix,
+                        std::string* out) {
+    const size_t n = std::string::traits_type::length(prefix);
+    if (arg.compare(0, n, prefix) != 0) return false;
+    *out = arg.substr(n);
+    return true;
+  }
+
+  static void WriteOut(const std::string& path, bool ok) {
+    if (!ok) {
+      std::fprintf(stderr, "error: could not write %s\n", path.c_str());
+    }
+  }
+
+  obs::Observability obs_;
+  std::string metrics_path_;
+  std::string trace_path_;
+  uint64_t trace_limit_ = obs::EventTracer::kDefaultLimit;
+};
 
 // Bandwidth in MB/s a worker achieved over the measurement window.
 inline double WorkerMBps(FioWorker& w, Tick window) {
@@ -52,6 +143,7 @@ inline TestbedConfig MicroConfig(Scheme scheme, SsdCondition cond) {
   cfg.scheme = scheme;
   cfg.condition = cond;
   cfg.ssd.logical_bytes = 512ull << 20;
+  cfg.obs = CurrentObs();
   return cfg;
 }
 

@@ -29,7 +29,8 @@ double UnloadedLatencyUs(fabric::TargetConfig target, uint32_t io_kb,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs_session(argc, argv);
   workload::PrintHeader(
       "Fig 2 - Unloaded latency vs IO size (QD1)",
       "Gimbal (SIGCOMM'21) Figure 2",

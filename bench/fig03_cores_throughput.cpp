@@ -38,7 +38,8 @@ double Kiops(fabric::TargetConfig target, int cores, bool is_write) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs_session(argc, argv);
   workload::PrintHeader(
       "Fig 3 - Throughput vs target core count (4 SSDs, 4KB IOs)",
       "Gimbal (SIGCOMM'21) Figure 3",

@@ -21,7 +21,8 @@ struct Neighbor {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs_session(argc, argv);
   workload::PrintHeader(
       "Fig 4 - Multi-tenant interference (vanilla target, clean SSD)",
       "Gimbal (SIGCOMM'21) Figure 4",

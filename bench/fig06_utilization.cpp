@@ -21,7 +21,8 @@ struct Case {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs_session(argc, argv);
   workload::PrintHeader(
       "Fig 6 - Utilization with 16 workers (bandwidth & avg latency)",
       "Gimbal (SIGCOMM'21) Figure 6",

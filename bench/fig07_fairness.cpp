@@ -20,14 +20,18 @@ struct Group {
   int workers;
 };
 
-void RunMix(const char* title, SsdCondition cond, Group a, Group b) {
+void RunMix(const char* title, const char* key, SsdCondition cond, Group a,
+            Group b) {
   std::printf("\n### %s\n", title);
   Table bw("Per-class results");
   bw.Columns({"scheme", std::string(a.label) + "_MBps",
-              std::string(b.label) + "_MBps", std::string(a.label) + "_fUtil",
+              std::string(b.label) + "_MBps", std::string(a.label) + "_ios",
+              std::string(b.label) + "_ios", std::string(a.label) + "_fUtil",
               std::string(b.label) + "_fUtil"});
   for (Scheme s : workload::kAllSchemes) {
     TestbedConfig cfg = MicroConfig(s, cond);
+    // Distinct metric series per (scheme, mix); e.g. run="gimbal:sizes".
+    cfg.run_label = std::string(ToString(s)) + ":" + key;
     // Standalone maxima for the f-Util denominators.
     double sa = workload::StandaloneBandwidth(cfg, a.spec);
     double sb = workload::StandaloneBandwidth(cfg, b.spec);
@@ -44,17 +48,22 @@ void RunMix(const char* title, SsdCondition cond, Group a, Group b) {
     }
     bed.Run(Milliseconds(400), Seconds(1));
     const int total = a.workers + b.workers;
-    uint64_t bytes_a = 0, bytes_b = 0;
+    uint64_t bytes_a = 0, bytes_b = 0, ios_a = 0, ios_b = 0;
     for (int i = 0; i < a.workers; ++i) {
       bytes_a += bed.workers()[static_cast<size_t>(i)]->stats().total_bytes();
+      ios_a += bed.workers()[static_cast<size_t>(i)]->stats().total_ios();
     }
     for (int i = a.workers; i < total; ++i) {
       bytes_b += bed.workers()[static_cast<size_t>(i)]->stats().total_bytes();
+      ios_b += bed.workers()[static_cast<size_t>(i)]->stats().total_ios();
     }
     double bps_a = RateBps(bytes_a, bed.measured()) / a.workers;
     double bps_b = RateBps(bytes_b, bed.measured()) / b.workers;
+    // The _ios columns count client-observed completions and equal the sum
+    // of this run's client.completed metric (see docs/OBSERVABILITY.md).
     bw.Row({ToString(s), Table::MBps(bps_a * a.workers),
-            Table::MBps(bps_b * b.workers),
+            Table::MBps(bps_b * b.workers), std::to_string(ios_a),
+            std::to_string(ios_b),
             Table::Num(workload::FUtil(bps_a, sa, total), 2),
             Table::Num(workload::FUtil(bps_b, sb, total), 2)});
   }
@@ -63,7 +72,8 @@ void RunMix(const char* title, SsdCondition cond, Group a, Group b) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs_session(argc, argv);
   workload::PrintHeader(
       "Fig 7 - Fairness (f-Util) in mixed workloads",
       "Gimbal (SIGCOMM'21) Figure 7",
@@ -73,7 +83,7 @@ int main() {
   {
     Group small{"4KB_rd", PaperSpec(4096, false, 0), 16};
     Group big{"128KB_rd", PaperSpec(131072, false, 0), 4};
-    RunMix("(a/d) Clean SSD: 16 x 4KB read + 4 x 128KB read",
+    RunMix("(a/d) Clean SSD: 16 x 4KB read + 4 x 128KB read", "sizes",
            SsdCondition::kClean, small, big);
   }
   {
@@ -84,12 +94,12 @@ int main() {
     wr.sequential = false;  // paper: 128KB random write
     Group write{"rnd_wr", wr, 16};
     RunMix("(b/e) Clean SSD: 16 x 128KB seq read + 16 x 128KB rand write",
-           SsdCondition::kClean, read, write);
+           "types", SsdCondition::kClean, read, write);
   }
   {
     Group read{"rnd_rd", PaperSpec(4096, false, 0), 16};
     Group write{"rnd_wr", PaperSpec(4096, true, 0), 16};
-    RunMix("(c/f) Fragmented SSD: 16 x 4KB read + 16 x 4KB write",
+    RunMix("(c/f) Fragmented SSD: 16 x 4KB read + 16 x 4KB write", "frag",
            SsdCondition::kFragmented, read, write);
   }
   return 0;

@@ -41,7 +41,8 @@ void RunCase(const char* title, SsdCondition cond, uint32_t io_bytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs_session(argc, argv);
   workload::PrintHeader(
       "Fig 8 - Read/write latency, 16+16 workers",
       "Gimbal (SIGCOMM'21) Figure 8",

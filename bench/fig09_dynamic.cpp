@@ -14,7 +14,8 @@
 using namespace gimbal;
 using namespace gimbal::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs_session(argc, argv);
   workload::PrintHeader(
       "Fig 9 - Dynamic workload timeline (Gimbal, fragmented SSD)",
       "Gimbal (SIGCOMM'21) Figure 9 / §5.5",

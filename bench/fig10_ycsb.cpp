@@ -36,6 +36,9 @@ RunResult RunOne(Scheme scheme, workload::YcsbWorkload wl) {
   cfg.testbed.target.cores = kSsds;
   cfg.testbed.condition = SsdCondition::kFragmented;
   cfg.testbed.ssd.logical_bytes = 256ull << 20;
+  cfg.testbed.obs = CurrentObs();
+  cfg.testbed.run_label =
+      std::string(ToString(scheme)) + ":" + workload::ToString(wl);
   cfg.hba.backend_bytes = 256ull << 20;
   cfg.db.memtable_bytes = 1ull << 20;
   KvCluster cluster(cfg);
@@ -54,6 +57,9 @@ RunResult RunOne(Scheme scheme, workload::YcsbWorkload wl) {
   for (auto& c : clients) c->Start();
   cluster.sim().RunUntil(Milliseconds(300));  // warmup
   for (auto& c : clients) c->stats().Reset();
+  if (auto* obs = CurrentObs()) {
+    obs->metrics.ResetRun(cfg.testbed.run_label);
+  }
   const Tick measure = Milliseconds(700);
   cluster.sim().RunUntil(cluster.sim().now() + measure);
 
@@ -69,7 +75,8 @@ RunResult RunOne(Scheme scheme, workload::YcsbWorkload wl) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs_session(argc, argv);
   workload::PrintHeader(
       "Fig 10 - YCSB over 24 KV instances, 12 fragmented SSDs",
       "Gimbal (SIGCOMM'21) Figure 10",

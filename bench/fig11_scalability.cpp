@@ -31,6 +31,9 @@ Point RunOne(workload::YcsbWorkload wl, int instances) {
   cfg.testbed.target.cores = kSsds;
   cfg.testbed.condition = SsdCondition::kFragmented;
   cfg.testbed.ssd.logical_bytes = 256ull << 20;
+  cfg.testbed.obs = CurrentObs();
+  cfg.testbed.run_label =
+      std::string(workload::ToString(wl)) + ":" + std::to_string(instances);
   cfg.hba.backend_bytes = 256ull << 20;
   cfg.db.memtable_bytes = 1ull << 20;
   KvCluster cluster(cfg);
@@ -48,6 +51,9 @@ Point RunOne(workload::YcsbWorkload wl, int instances) {
   for (auto& c : clients) c->Start();
   cluster.sim().RunUntil(Milliseconds(250));
   for (auto& c : clients) c->stats().Reset();
+  if (auto* obs = CurrentObs()) {
+    obs->metrics.ResetRun(cfg.testbed.run_label);
+  }
   const Tick measure = Milliseconds(500);
   cluster.sim().RunUntil(cluster.sim().now() + measure);
   uint64_t ops = 0;
@@ -62,7 +68,8 @@ Point RunOne(workload::YcsbWorkload wl, int instances) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs_session(argc, argv);
   workload::PrintHeader(
       "Fig 11/12 - Scalability with KV instance count (Gimbal)",
       "Gimbal (SIGCOMM'21) Figures 11-12",

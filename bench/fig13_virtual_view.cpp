@@ -30,6 +30,10 @@ double P999ReadUs(workload::YcsbWorkload wl, bool flow_control,
   cfg.testbed.target.cores = kSsds;
   cfg.testbed.condition = SsdCondition::kFragmented;
   cfg.testbed.ssd.logical_bytes = 256ull << 20;
+  cfg.testbed.obs = CurrentObs();
+  cfg.testbed.run_label = std::string(workload::ToString(wl)) +
+                          (flow_control ? ":fc" : ":plain") +
+                          (load_balance ? "+lb" : "");
   cfg.hba.backend_bytes = 256ull << 20;
   cfg.db.memtable_bytes = 1ull << 20;
   cfg.load_balance_reads = load_balance;
@@ -50,6 +54,9 @@ double P999ReadUs(workload::YcsbWorkload wl, bool flow_control,
   for (auto& c : clients) c->Start();
   cluster.sim().RunUntil(Milliseconds(250));
   for (auto& c : clients) c->stats().Reset();
+  if (auto* obs = CurrentObs()) {
+    obs->metrics.ResetRun(cfg.testbed.run_label);
+  }
   const Tick measure = Milliseconds(700);
   cluster.sim().RunUntil(cluster.sim().now() + measure);
   LatencyHistogram reads;
@@ -59,7 +66,8 @@ double P999ReadUs(workload::YcsbWorkload wl, bool flow_control,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs_session(argc, argv);
   workload::PrintHeader(
       "Fig 13 - Virtual-view optimizations (8 instances, 1 JBOF)",
       "Gimbal (SIGCOMM'21) Figure 13",

@@ -9,7 +9,8 @@
 using namespace gimbal;
 using namespace gimbal::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs_session(argc, argv);
   workload::PrintHeader(
       "Fig 14 - 4KB bandwidth vs read ratio, clean vs fragmented",
       "Gimbal (SIGCOMM'21) Figure 14 / Appendix A",

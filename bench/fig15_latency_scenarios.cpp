@@ -26,7 +26,8 @@ double ReadLatencyUs(SsdCondition cond, uint32_t io_bytes, double read_ratio,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs_session(argc, argv);
   workload::PrintHeader(
       "Fig 15 - Random read latency vs IO size under four scenarios",
       "Gimbal (SIGCOMM'21) Figure 15 / Appendix A",

@@ -32,7 +32,8 @@ double GBps(uint32_t io_bytes, bool is_write, Tick added) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs_session(argc, argv);
   workload::PrintHeader(
       "Fig 16 - Bandwidth vs added per-IO processing cost (4 SSDs, 8 cores)",
       "Gimbal (SIGCOMM'21) Figure 16 / §2.4",

@@ -55,7 +55,6 @@ void Timeline(Scheme scheme) {
       if (bed.workers()[i]->running()) ++active;
     }
     // Windowed mean latency: difference of cumulative histograms.
-    LatencyHistogram cur4k = MergedLatency(bed, IoType::kRead);
     double lat4k = 0, lat128k = 0;
     {
       LatencyHistogram small, big;
@@ -87,7 +86,8 @@ void Timeline(Scheme scheme) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs_session(argc, argv);
   workload::PrintHeader(
       "Fig 17 - Latency under growing 4KB+128KB read load",
       "Gimbal (SIGCOMM'21) Figure 17 / Appendix B",

@@ -12,7 +12,8 @@
 using namespace gimbal;
 using namespace gimbal::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs_session(argc, argv);
   workload::PrintHeader(
       "Fig 18 - Dynamic latency threshold vs EWMA (128KB random read)",
       "Gimbal (SIGCOMM'21) Figure 18 / Appendix B",

@@ -8,7 +8,8 @@
 using namespace gimbal;
 using namespace gimbal::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs_session(argc, argv);
   workload::PrintHeader(
       "Fig 19 - IO intensity interference (stream1 QD = 2 x stream2 QD)",
       "Gimbal (SIGCOMM'21) Figure 19 / Appendix D",

@@ -9,7 +9,8 @@
 using namespace gimbal;
 using namespace gimbal::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs_session(argc, argv);
   workload::PrintHeader(
       "Fig 20 - 4KB stream1 bandwidth vs competitor IO size",
       "Gimbal (SIGCOMM'21) Figure 20 / Appendix D",

@@ -31,7 +31,8 @@ double ReadMBps(uint32_t io_bytes, bool sequential, bool with_writer) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs_session(argc, argv);
   workload::PrintHeader(
       "Fig 21 - Read bandwidth standalone vs mixed with writes",
       "Gimbal (SIGCOMM'21) Figure 21 / Appendix D",

@@ -64,7 +64,8 @@ void RunFigure(const char* title, bool victim_write) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs_session(argc, argv);
   workload::PrintHeader(
       "Fig 22/23 - Victim latency vs background traffic size",
       "Gimbal (SIGCOMM'21) Figures 22-23 / Appendix D",

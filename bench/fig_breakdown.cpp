@@ -43,7 +43,8 @@ double DeviceShare(fabric::TargetConfig target, uint32_t io_bytes,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs_session(argc, argv);
   workload::PrintHeader(
       "§2.2 - NVMe command execution share of target-side latency",
       "Gimbal (SIGCOMM'21) §2.2 breakdown discussion",

@@ -56,7 +56,8 @@ void RunCondition(const char* label, SsdCondition cond, uint32_t io_bytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs_session(argc, argv);
   workload::PrintHeader(
       "Generalization - Gimbal on an Intel P3600-like MLC SSD",
       "Gimbal (SIGCOMM'21) §5.8",

@@ -42,7 +42,8 @@ Point Run(Scheme scheme, double offered_iops) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs_session(argc, argv);
   workload::PrintHeader(
       "Extension - open-loop latency vs offered load (4KB random read)",
       "companion to Gimbal (SIGCOMM'21) Fig 17 / Appendix B",

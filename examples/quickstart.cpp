@@ -13,6 +13,7 @@
 #include "fabric/initiator.h"
 #include "fabric/network.h"
 #include "fabric/target.h"
+#include "obs/obs.h"
 #include "sim/simulator.h"
 #include "ssd/ssd.h"
 
@@ -22,12 +23,20 @@ int main() {
   // 1. A deterministic discrete-event simulator owns all timing.
   sim::Simulator sim;
 
+  // Optional: a metrics registry + event tracer every layer below reports
+  // into (docs/OBSERVABILITY.md catalogues what). The bench binaries wire
+  // this up from --metrics-out=/--trace-out=; here we attach one by hand.
+  obs::Observability obs;
+  obs.tracer.Enable();
+
   // 2. The SmartNIC JBOF: 100 Gbps fabric, ARM-class target cores, one
   //    NVMe SSD (page-mapped FTL + NAND timing model), preconditioned
   //    clean.
   fabric::Network net(sim);
   fabric::Target target(sim, net, fabric::TargetConfig::SmartNicLike());
+  target.AttachObservability(&obs);
   ssd::Ssd ssd_dev(sim, ssd::SsdConfig::SamsungDct983Like());
+  ssd_dev.AttachObservability(&obs, /*ssd_index=*/0);
   ssd_dev.PreconditionClean();
 
   // 3. The Gimbal storage switch orchestrates the SSD's pipeline:
@@ -83,5 +92,14 @@ int main() {
   std::printf("  device: WA=%.2f gc_runs=%llu\n",
               ssd_dev.ftl().stats().WriteAmplification(),
               static_cast<unsigned long long>(ssd_dev.counters().gc_runs));
+
+  // 7. Everything above was also recorded by the observability layer:
+  //    dump the metrics snapshot and a chrome://tracing-loadable trace.
+  std::printf("  obs: %zu metric series, %zu trace events\n",
+              obs.metrics.size(), obs.tracer.size());
+  obs.metrics.WriteFile("quickstart_metrics.json");
+  obs.tracer.WriteFile("quickstart_trace.json");
+  std::printf("  wrote quickstart_metrics.json and quickstart_trace.json "
+              "(load the trace in chrome://tracing)\n");
   return 0;
 }

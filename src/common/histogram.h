@@ -39,10 +39,14 @@ class LatencyHistogram {
 
   void Reset() { *this = LatencyHistogram{}; }
 
-  // Value at quantile q in [0,1]. Returns an upper bound of the bucket that
-  // contains the q-th sample (standard HDR semantics).
+  // Value at quantile q, clamped into [0,1]. Returns an upper bound of the
+  // bucket that contains the q-th sample (standard HDR semantics). An empty
+  // histogram has every quantile defined as 0, matching the zero-count
+  // conventions of StreamingStats (mean/min/max of nothing are 0, not NaN).
   int64_t Percentile(double q) const {
     if (total_ == 0) return 0;
+    if (!(q > 0.0)) q = 0.0;  // also catches NaN
+    if (q > 1.0) q = 1.0;
     uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total_));
     if (rank >= total_) rank = total_ - 1;
     uint64_t seen = 0;

@@ -9,6 +9,10 @@
 namespace gimbal {
 
 // Simple streaming accumulator (count / sum / min / max / mean).
+//
+// Zero-count convention (shared with LatencyHistogram and obs::Histogram):
+// after construction or Reset(), mean/min/max all report 0 — never the
+// +/-infinity sentinels used internally, and never NaN.
 class StreamingStats {
  public:
   void Add(double v) {

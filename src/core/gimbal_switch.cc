@@ -10,9 +10,35 @@ GimbalSwitch::GimbalSwitch(sim::Simulator& sim, ssd::BlockDevice& device,
       rate_(params_),
       scheduler_(params_, write_cost_) {}
 
+void GimbalSwitch::AttachObservability(obs::Observability* obs,
+                                       int ssd_index) {
+  PolicyBase::AttachObservability(obs, ssd_index);
+  rate_.AttachObservability(obs, ssd_index, &sim_);
+  write_cost_.AttachObservability(obs, ssd_index, &sim_);
+  if (!obs) {
+    m_congestion_signals_ = nullptr;
+    m_overload_events_ = nullptr;
+    m_pacing_stalls_ = nullptr;
+    m_credit_grants_ = nullptr;
+    m_queue_depth_ = nullptr;
+    return;
+  }
+  namespace schema = obs::schema;
+  const obs::Labels l = obs::Labels::Ssd(ssd_index);
+  obs::MetricsRegistry& reg = obs->metrics;
+  m_congestion_signals_ = &reg.GetCounter(schema::kCongestionSignals, l);
+  m_overload_events_ = &reg.GetCounter(schema::kOverloadEvents, l);
+  m_pacing_stalls_ = &reg.GetCounter(schema::kPacingStalls, l);
+  m_credit_grants_ = &reg.GetCounter(schema::kCreditGrants, l);
+  m_queue_depth_ = &reg.GetGauge(schema::kQueueDepth, l);
+}
+
 void GimbalSwitch::OnRequest(const IoRequest& req) {
   ++stats_.requests;
   scheduler_.Enqueue(req);
+  if (m_queue_depth_) {
+    m_queue_depth_->Set(static_cast<double>(scheduler_.queued_total()));
+  }
   Pump();
 }
 
@@ -20,6 +46,11 @@ void GimbalSwitch::OnTenantDisconnect(TenantId tenant) {
   // Fail still-queued requests back to the client; the head-of-line
   // request (if it belongs to this tenant) was already charged to a slot
   // and will submit/complete normally, as will device-inflight IOs.
+  if (obs_) {
+    obs_->tracer.Instant(
+        sim_.now(), obs::schema::kEvDisconnect,
+        obs::Labels::TenantSsd(static_cast<int32_t>(tenant), ssd_index_));
+  }
   for (const IoRequest& req : scheduler_.Disconnect(tenant)) {
     IoCompletion cpl;
     cpl.id = req.id;
@@ -27,7 +58,21 @@ void GimbalSwitch::OnTenantDisconnect(TenantId tenant) {
     cpl.type = req.type;
     cpl.length = req.length;
     cpl.ok = false;
+    if (obs_) {
+      obs_->metrics
+          .GetCounter(obs::schema::kPolicyFailed,
+                      obs::Labels::TenantSsd(static_cast<int32_t>(tenant),
+                                             ssd_index_))
+          .Add(1);
+      obs_->tracer.Instant(
+          sim_.now(), obs::schema::kEvFail,
+          obs::Labels::TenantSsd(static_cast<int32_t>(tenant), ssd_index_),
+          {{"bytes", static_cast<double>(req.length)}});
+    }
     if (complete_) complete_(req, cpl);
+  }
+  if (m_queue_depth_) {
+    m_queue_depth_->Set(static_cast<double>(scheduler_.queued_total()));
   }
 }
 
@@ -52,6 +97,7 @@ void GimbalSwitch::Pump() {
       // Pacing stall: retry when enough tokens will have accrued. The
       // completion path also re-pumps, whichever comes first.
       ++stats_.pacing_stalls;
+      if (m_pacing_stalls_) m_pacing_stalls_->Add(1);
       SchedulePoke(
           rate_.PacingDelay(req.type, req.length, write_cost_.cost()));
       return;
@@ -59,6 +105,9 @@ void GimbalSwitch::Pump() {
     ++io_outstanding_;
     SubmitToDevice(req, head_->slot_id);
     head_.reset();
+    if (m_queue_depth_) {
+      m_queue_depth_->Set(static_cast<double>(scheduler_.queued_total()));
+    }
   }
 }
 
@@ -82,8 +131,14 @@ void GimbalSwitch::OnDeviceCompletion(const IoRequest& req,
   // target rate adjustment.
   CongestionState state =
       rate_.OnCompletion(req.type, dc.latency(), req.length, sim_.now());
-  if (state == CongestionState::kCongested) ++stats_.congestion_signals;
-  if (state == CongestionState::kOverloaded) ++stats_.overload_events;
+  if (state == CongestionState::kCongested) {
+    ++stats_.congestion_signals;
+    if (m_congestion_signals_) m_congestion_signals_->Add(1);
+  }
+  if (state == CongestionState::kOverloaded) {
+    ++stats_.overload_events;
+    if (m_overload_events_) m_overload_events_->Add(1);
+  }
 
   MaybeUpdateWriteCost();
 
@@ -91,7 +146,17 @@ void GimbalSwitch::OnDeviceCompletion(const IoRequest& req,
   scheduler_.OnCompletion(req.tenant, slot_id);
 
   // §3.6: piggyback the tenant's refreshed credit on the completion.
-  Deliver(req, dc, scheduler_.CreditFor(req.tenant));
+  const uint32_t credit = scheduler_.CreditFor(req.tenant);
+  if (obs_) {
+    m_credit_grants_->Add(1);
+    const obs::Labels l =
+        obs::Labels::TenantSsd(static_cast<int32_t>(req.tenant), ssd_index_);
+    obs_->metrics.GetGauge(obs::schema::kCreditLast, l)
+        .Set(static_cast<double>(credit));
+    obs_->tracer.Instant(sim_.now(), obs::schema::kEvCreditGrant, l,
+                         {{"credit", static_cast<double>(credit)}});
+  }
+  Deliver(req, dc, credit);
 
   // Self-clocking: every completion drives the next submission.
   Pump();

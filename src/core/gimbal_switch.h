@@ -48,6 +48,7 @@ class GimbalSwitch : public PolicyBase {
     return scheduler_.CreditFor(tenant);
   }
   std::string name() const override { return "gimbal"; }
+  void AttachObservability(obs::Observability* obs, int ssd_index) override;
 
   // Per-SSD virtual view for `tenant` (§3.7).
   VirtualView View(TenantId tenant) const;
@@ -94,6 +95,13 @@ class GimbalSwitch : public PolicyBase {
   bool poke_scheduled_ = false;
   Tick last_cost_update_ = 0;
   SwitchStats stats_;
+
+  // Observability (null = not observed; see docs/OBSERVABILITY.md).
+  obs::Counter* m_congestion_signals_ = nullptr;
+  obs::Counter* m_overload_events_ = nullptr;
+  obs::Counter* m_pacing_stalls_ = nullptr;
+  obs::Counter* m_credit_grants_ = nullptr;
+  obs::Gauge* m_queue_depth_ = nullptr;
 };
 
 }  // namespace gimbal::core

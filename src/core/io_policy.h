@@ -14,6 +14,8 @@
 #include <unordered_map>
 
 #include "nvme/types.h"
+#include "obs/obs.h"
+#include "obs/schema.h"
 #include "sim/simulator.h"
 #include "ssd/block_device.h"
 
@@ -54,6 +56,13 @@ class IoPolicy {
 
   void set_completion_fn(CompletionFn fn) { complete_ = std::move(fn); }
 
+  // Attach metrics/trace sinks; `ssd_index` labels everything this policy
+  // emits. A null `obs` (the default state) disables all instrumentation.
+  virtual void AttachObservability(obs::Observability* obs, int ssd_index) {
+    (void)obs;
+    (void)ssd_index;
+  }
+
  protected:
   CompletionFn complete_;
 };
@@ -69,6 +78,12 @@ class PolicyBase : public IoPolicy {
     device_.Trim(offset, length);
   }
 
+  void AttachObservability(obs::Observability* obs, int ssd_index) override {
+    obs_ = obs;
+    ssd_index_ = ssd_index;
+    tenant_metrics_.clear();
+  }
+
   uint32_t device_inflight() const { return device_.inflight(); }
 
  protected:
@@ -76,6 +91,15 @@ class PolicyBase : public IoPolicy {
   // `tag` is round-tripped untouched (Gimbal uses it for the virtual-slot
   // id the IO was charged to).
   void SubmitToDevice(const IoRequest& req, uint64_t tag = 0) {
+    if (obs_) {
+      TenantMetrics& tm = MetricsFor(req.tenant);
+      tm.dispatched->Add(1);
+      obs_->tracer.Instant(
+          sim_.now(), obs::schema::kEvDispatch,
+          obs::Labels::TenantSsd(static_cast<int32_t>(req.tenant), ssd_index_),
+          {{"bytes", static_cast<double>(req.length)},
+           {"write", req.type == IoType::kWrite ? 1.0 : 0.0}});
+    }
     uint64_t cookie = next_cookie_++;
     tracked_.emplace(cookie, Tracked{req, tag});
     ssd::DeviceIo io;
@@ -107,11 +131,53 @@ class PolicyBase : public IoPolicy {
     cpl.device_latency = dc.latency();
     cpl.target_latency = sim_.now() - req.target_arrival;
     cpl.credit = credit;
+    if (obs_) {
+      TenantMetrics& tm = MetricsFor(req.tenant);
+      tm.completed->Add(1);
+      tm.completed_bytes->Add(req.length);
+      tm.device_latency->Record(cpl.device_latency);
+      tm.target_latency->Record(cpl.target_latency);
+      // The device-service span renders as a bar from SSD submit to now.
+      obs_->tracer.Span(
+          sim_.now() - cpl.device_latency, cpl.device_latency,
+          obs::schema::kEvComplete,
+          obs::Labels::TenantSsd(static_cast<int32_t>(req.tenant), ssd_index_),
+          {{"bytes", static_cast<double>(req.length)},
+           {"write", req.type == IoType::kWrite ? 1.0 : 0.0},
+           {"credit", static_cast<double>(credit)}});
+    }
     if (complete_) complete_(req, cpl);
+  }
+
+  // Per-(tenant, ssd) metric handles, resolved once per tenant. Only valid
+  // while obs_ is non-null.
+  struct TenantMetrics {
+    obs::Counter* dispatched = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* completed_bytes = nullptr;
+    obs::Histogram* device_latency = nullptr;
+    obs::Histogram* target_latency = nullptr;
+  };
+  TenantMetrics& MetricsFor(TenantId tenant) {
+    auto it = tenant_metrics_.find(tenant);
+    if (it != tenant_metrics_.end()) return it->second;
+    namespace schema = obs::schema;
+    const obs::Labels l =
+        obs::Labels::TenantSsd(static_cast<int32_t>(tenant), ssd_index_);
+    obs::MetricsRegistry& reg = obs_->metrics;
+    TenantMetrics tm;
+    tm.dispatched = &reg.GetCounter(schema::kPolicyDispatched, l);
+    tm.completed = &reg.GetCounter(schema::kPolicyCompleted, l);
+    tm.completed_bytes = &reg.GetCounter(schema::kPolicyCompletedBytes, l);
+    tm.device_latency = &reg.GetHistogram(schema::kDeviceLatency, l);
+    tm.target_latency = &reg.GetHistogram(schema::kTargetLatency, l);
+    return tenant_metrics_.emplace(tenant, tm).first->second;
   }
 
   sim::Simulator& sim_;
   ssd::BlockDevice& device_;
+  obs::Observability* obs_ = nullptr;
+  int ssd_index_ = -1;
 
  private:
   struct Tracked {
@@ -119,6 +185,7 @@ class PolicyBase : public IoPolicy {
     uint64_t tag;
   };
   std::unordered_map<uint64_t, Tracked> tracked_;
+  std::unordered_map<TenantId, TenantMetrics> tenant_metrics_;
   uint64_t next_cookie_ = 1;
 };
 

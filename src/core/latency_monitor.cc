@@ -1,5 +1,7 @@
 #include "core/latency_monitor.h"
 
+#include "obs/schema.h"
+
 namespace gimbal::core {
 
 const char* ToString(CongestionState s) {
@@ -21,6 +23,25 @@ void LatencyMonitor::Reset() {
   ewma_.Reset();
   threshold_ = static_cast<double>(params_.thresh_max);
   state_ = CongestionState::kUnderUtilized;
+}
+
+void LatencyMonitor::AttachObservability(obs::Observability* obs,
+                                         int ssd_index, IoType type,
+                                         const sim::Simulator* sim) {
+  obs_ = obs;
+  obs_sim_ = sim;
+  ssd_index_ = ssd_index;
+  if (!obs_) return;
+  namespace schema = obs::schema;
+  const bool read = type == IoType::kRead;
+  const obs::Labels l = obs::Labels::Ssd(ssd_index_);
+  obs::MetricsRegistry& reg = obs_->metrics;
+  m_ewma_ = &reg.GetGauge(read ? schema::kEwmaRead : schema::kEwmaWrite, l);
+  m_thresh_ =
+      &reg.GetGauge(read ? schema::kThreshRead : schema::kThreshWrite, l);
+  m_state_ = &reg.GetGauge(read ? schema::kStateRead : schema::kStateWrite, l);
+  transition_event_ =
+      read ? schema::kEvCongestionRead : schema::kEvCongestionWrite;
 }
 
 CongestionState LatencyMonitor::Update(Tick latency) {
@@ -49,6 +70,20 @@ CongestionState LatencyMonitor::Update(Tick latency) {
   }
   // The threshold never drops below the congestion-free floor.
   if (threshold_ < min) threshold_ = min;
+
+  if (obs_) {
+    m_ewma_->Set(ewma);
+    m_thresh_->Set(threshold_);
+    const double state_num = static_cast<double>(static_cast<int>(state_));
+    if (m_state_->value() != state_num && obs_sim_) {
+      obs_->tracer.Instant(obs_sim_->now(), transition_event_,
+                           obs::Labels::Ssd(ssd_index_),
+                           {{"state", state_num},
+                            {"ewma_ns", ewma},
+                            {"thresh_ns", threshold_}});
+    }
+    m_state_->Set(state_num);
+  }
   return state_;
 }
 

@@ -10,6 +10,9 @@
 #include "common/stats.h"
 #include "common/time.h"
 #include "core/params.h"
+#include "nvme/types.h"
+#include "obs/obs.h"
+#include "sim/simulator.h"
 
 namespace gimbal::core {
 
@@ -37,11 +40,25 @@ class LatencyMonitor {
 
   void Reset();
 
+  // Attach metrics/trace sinks. `type` selects the read or write metric
+  // family; `sim` supplies timestamps for state-transition trace events.
+  void AttachObservability(obs::Observability* obs, int ssd_index, IoType type,
+                           const sim::Simulator* sim);
+
  private:
   const GimbalParams& params_;
   Ewma ewma_;
   double threshold_;
   CongestionState state_ = CongestionState::kUnderUtilized;
+
+  // Observability (null = not observed).
+  obs::Observability* obs_ = nullptr;
+  const sim::Simulator* obs_sim_ = nullptr;
+  int ssd_index_ = -1;
+  const char* transition_event_ = nullptr;
+  obs::Gauge* m_ewma_ = nullptr;
+  obs::Gauge* m_thresh_ = nullptr;
+  obs::Gauge* m_state_ = nullptr;
 };
 
 }  // namespace gimbal::core

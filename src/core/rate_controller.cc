@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/schema.h"
+
 namespace gimbal::core {
 
 namespace {
@@ -50,7 +52,37 @@ CongestionState RateController::OnCompletion(IoType type, Tick latency,
       break;
   }
   target_rate_ = std::clamp(target_rate_, params_.min_rate, kMaxRate);
+
+  if (obs_) {
+    const double before = m_target_rate_->value();
+    m_target_rate_->Set(target_rate_);
+    m_completion_rate_->Set(completion_meter_.last_rate());
+    // One rate up/down decision per completion (Algorithm 1).
+    obs_->tracer.Instant(now, obs::schema::kEvRateUpdate,
+                         obs::Labels::Ssd(ssd_index_),
+                         {{"bps", target_rate_},
+                          {"dir", target_rate_ > before   ? 1.0
+                                  : target_rate_ < before ? -1.0
+                                                          : 0.0},
+                          {"state", static_cast<double>(
+                               static_cast<int>(state))}});
+  }
   return state;
+}
+
+void RateController::AttachObservability(obs::Observability* obs,
+                                         int ssd_index,
+                                         const sim::Simulator* sim) {
+  obs_ = obs;
+  ssd_index_ = ssd_index;
+  read_monitor_.AttachObservability(obs, ssd_index, IoType::kRead, sim);
+  write_monitor_.AttachObservability(obs, ssd_index, IoType::kWrite, sim);
+  if (!obs_) return;
+  const obs::Labels l = obs::Labels::Ssd(ssd_index_);
+  m_target_rate_ = &obs_->metrics.GetGauge(obs::schema::kTargetRate, l);
+  m_completion_rate_ =
+      &obs_->metrics.GetGauge(obs::schema::kCompletionRate, l);
+  m_target_rate_->Set(target_rate_);
 }
 
 Tick RateController::PacingDelay(IoType type, uint64_t bytes,

@@ -49,6 +49,10 @@ class RateController {
   const DualTokenBucket& bucket() const { return bucket_; }
   double completion_rate() const { return completion_meter_.last_rate(); }
 
+  // Attach metrics/trace sinks (propagated to both latency monitors).
+  void AttachObservability(obs::Observability* obs, int ssd_index,
+                           const sim::Simulator* sim);
+
   // Simulated time until the read bucket could cover `bytes` at the current
   // rate (used by the switch to schedule a poke when pacing stalls with no
   // completions outstanding).
@@ -63,6 +67,12 @@ class RateController {
   RateMeter completion_meter_;
   Tick window_start_ = 0;
   bool window_started_ = false;
+
+  // Observability (null = not observed).
+  obs::Observability* obs_ = nullptr;
+  int ssd_index_ = -1;
+  obs::Gauge* m_target_rate_ = nullptr;
+  obs::Gauge* m_completion_rate_ = nullptr;
 };
 
 }  // namespace gimbal::core

@@ -11,6 +11,9 @@
 
 #include "common/time.h"
 #include "core/params.h"
+#include "obs/obs.h"
+#include "obs/schema.h"
+#include "sim/simulator.h"
 
 namespace gimbal::core {
 
@@ -23,12 +26,34 @@ class WriteCostEstimator {
   // EWMA write latency. No-ops if no writes were observed yet.
   void PeriodicUpdate(double write_ewma_latency_ns) {
     if (write_ewma_latency_ns <= 0) return;
+    const double before = cost_;
     if (write_ewma_latency_ns < static_cast<double>(params_.thresh_min)) {
       cost_ -= params_.write_cost_delta;   // additive decrease
       if (cost_ < 1.0) cost_ = 1.0;        // never cheaper than a read
     } else {
       cost_ = (cost_ + params_.write_cost_worst) / 2.0;  // converge to worst
     }
+    if (obs_ && cost_ != before) {
+      m_cost_->Set(cost_);
+      if (obs_sim_) {
+        obs_->tracer.Instant(obs_sim_->now(), obs::schema::kEvWriteCost,
+                             obs::Labels::Ssd(ssd_index_),
+                             {{"cost", cost_}});
+      }
+    }
+  }
+
+  // Attach metrics/trace sinks; `sim` supplies timestamps for wc.update
+  // trace events.
+  void AttachObservability(obs::Observability* obs, int ssd_index,
+                           const sim::Simulator* sim) {
+    obs_ = obs;
+    obs_sim_ = sim;
+    ssd_index_ = ssd_index;
+    if (!obs_) return;
+    m_cost_ = &obs_->metrics.GetGauge(obs::schema::kWriteCost,
+                                      obs::Labels::Ssd(ssd_index_));
+    m_cost_->Set(cost_);
   }
 
   double cost() const { return cost_; }
@@ -43,6 +68,12 @@ class WriteCostEstimator {
  private:
   const GimbalParams& params_;
   double cost_;
+
+  // Observability (null = not observed).
+  obs::Observability* obs_ = nullptr;
+  const sim::Simulator* obs_sim_ = nullptr;
+  int ssd_index_ = -1;
+  obs::Gauge* m_cost_ = nullptr;
 };
 
 }  // namespace gimbal::core

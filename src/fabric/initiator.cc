@@ -4,6 +4,8 @@
 #include <cassert>
 #include <memory>
 
+#include "obs/schema.h"
+
 namespace gimbal::fabric {
 
 Initiator::Initiator(sim::Simulator& sim, Network& net, Target& target,
@@ -139,8 +141,25 @@ void Initiator::OnFabricCompletion(const IoCompletion& cpl) {
   if (cpl.credit > 0) credit_total_ = cpl.credit;  // §3.6 credit update
   if (mode_ == ThrottleMode::kParda) parda_.OnCompletion(e2e, sim_.now());
 
+  if (cpl.ok && m_completed_) {
+    m_completed_->Add(1);
+    m_completed_bytes_->Add(cpl.length);
+  }
   if (p.done) p.done(cpl, e2e);
   IssueLoop();
+}
+
+void Initiator::AttachObservability(obs::Observability* obs) {
+  if (!obs) {
+    m_completed_ = nullptr;
+    m_completed_bytes_ = nullptr;
+    return;
+  }
+  const obs::Labels l =
+      obs::Labels::TenantSsd(static_cast<int32_t>(tenant_), pipeline_);
+  m_completed_ = &obs->metrics.GetCounter(obs::schema::kClientCompleted, l);
+  m_completed_bytes_ =
+      &obs->metrics.GetCounter(obs::schema::kClientCompletedBytes, l);
 }
 
 }  // namespace gimbal::fabric

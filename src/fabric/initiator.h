@@ -19,6 +19,7 @@
 #include "fabric/network.h"
 #include "fabric/target.h"
 #include "nvme/types.h"
+#include "obs/obs.h"
 
 namespace gimbal::fabric {
 
@@ -63,6 +64,11 @@ class Initiator : public CompletionSink {
 
   void OnFabricCompletion(const IoCompletion& cpl) override;
 
+  // Attach metrics sinks. Client-side completion counters tick at the same
+  // event as the fio worker stats, so metric totals and stdout agree
+  // exactly regardless of IOs in flight at window edges.
+  void AttachObservability(obs::Observability* obs);
+
  private:
   struct Pending {
     IoRequest req;
@@ -86,6 +92,10 @@ class Initiator : public CompletionSink {
   uint32_t inflight_ = 0;
   uint32_t credit_total_ = 8;  // optimistic initial grant, refined by cpl
   bool shutdown_ = false;
+
+  // Observability (null = not observed).
+  obs::Counter* m_completed_ = nullptr;
+  obs::Counter* m_completed_bytes_ = nullptr;
 };
 
 }  // namespace gimbal::fabric

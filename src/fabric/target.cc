@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/schema.h"
+
 namespace gimbal::fabric {
 
 Target::Target(sim::Simulator& sim, Network& net, TargetConfig config)
@@ -23,8 +25,18 @@ int Target::AddPipeline(std::unique_ptr<core::IoPolicy> policy) {
       [this, raw](const IoRequest& req, const IoCompletion& cpl) {
         FinishCompletion(*raw, req, cpl);
       });
+  const int id = static_cast<int>(pipelines_.size());
+  p->policy->AttachObservability(obs_, id);
   pipelines_.push_back(std::move(p));
-  return static_cast<int>(pipelines_.size()) - 1;
+  return id;
+}
+
+void Target::AttachObservability(obs::Observability* obs) {
+  obs_ = obs;
+  for (int i = 0; i < static_cast<int>(pipelines_.size()); ++i) {
+    pipelines_[i]->policy->AttachObservability(obs_, i);
+    pipelines_[i]->admit.clear();
+  }
 }
 
 void Target::Connect(int pipeline, TenantId tenant, CompletionSink* sink) {
@@ -35,6 +47,24 @@ void Target::OnCommandCapsule(int pipeline, IoRequest req) {
   Pipeline& p = *pipelines_[pipeline];
   ++stats_.ios;
   stats_.bytes += req.length;
+  if (obs_) {
+    const obs::Labels l =
+        obs::Labels::TenantSsd(static_cast<int32_t>(req.tenant), pipeline);
+    Pipeline::AdmitCounters& ac = p.admit[req.tenant];
+    if (!ac.ios) {
+      // Resolved once per (tenant, pipeline); a run-label change invalidates
+      // the cache via Testbed re-attach.
+      ac.ios = &obs_->metrics.GetCounter(obs::schema::kTargetAdmitted, l);
+      ac.bytes =
+          &obs_->metrics.GetCounter(obs::schema::kTargetAdmittedBytes, l);
+    }
+    ac.ios->Add(1);
+    ac.bytes->Add(req.length);
+    obs_->tracer.Instant(
+        sim_.now(), obs::schema::kEvAdmit, l,
+        {{"bytes", static_cast<double>(req.length)},
+         {"write", req.type == IoType::kWrite ? 1.0 : 0.0}});
+  }
   // Target-side latency is measured from capsule arrival to the completion
   // capsule being handed to the NIC (the (b)-(e) window of §2.1).
   req.target_arrival = sim_.now();

@@ -20,6 +20,7 @@
 #include "core/io_policy.h"
 #include "fabric/network.h"
 #include "nvme/types.h"
+#include "obs/obs.h"
 #include "sim/resource.h"
 
 namespace gimbal::fabric {
@@ -79,6 +80,11 @@ class Target {
   // replaces it) and reaps the tenant once inflight IOs drain.
   void OnDisconnectCapsule(int pipeline, TenantId tenant);
 
+  // Attach metrics/trace sinks; propagated to every pipeline's policy
+  // (existing and future), which forwards to its device-facing components.
+  // Pipeline index doubles as the `ssd` label. Pass nullptr to detach.
+  void AttachObservability(obs::Observability* obs);
+
   core::IoPolicy& policy(int pipeline) { return *pipelines_[pipeline]->policy; }
   int pipeline_count() const { return static_cast<int>(pipelines_.size()); }
   const TargetConfig& config() const { return config_; }
@@ -94,6 +100,12 @@ class Target {
     std::unique_ptr<core::IoPolicy> policy;
     int core = 0;
     std::unordered_map<TenantId, CompletionSink*> sinks;
+    // Per-tenant admit counter handles, resolved lazily (see target.cc).
+    struct AdmitCounters {
+      obs::Counter* ios = nullptr;
+      obs::Counter* bytes = nullptr;
+    };
+    std::unordered_map<TenantId, AdmitCounters> admit;
   };
 
   sim::FifoResource& CoreOf(const Pipeline& p) { return *cores_[p.core]; }
@@ -109,6 +121,7 @@ class Target {
   std::vector<std::unique_ptr<sim::FifoResource>> cores_;
   std::vector<std::unique_ptr<Pipeline>> pipelines_;
   TargetStats stats_;
+  obs::Observability* obs_ = nullptr;  // null = not observed
 };
 
 }  // namespace gimbal::fabric

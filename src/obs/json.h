@@ -1,0 +1,53 @@
+// Minimal JSON emission helpers for the observability snapshots. Only what
+// the exporters need: string escaping and locale-independent number
+// formatting (doubles always use '.' and never print NaN/Inf, which JSON
+// forbids — non-finite values serialize as 0).
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace gimbal::obs {
+
+inline void JsonEscape(const std::string& in, std::string& out) {
+  for (char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+inline std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  JsonEscape(s, out);
+  out += '"';
+  return out;
+}
+
+inline std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  // %.17g round-trips doubles; trim to %g-style shortest when integral.
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+}  // namespace gimbal::obs

@@ -1,0 +1,29 @@
+// Label dimensions shared by metrics and trace events.
+//
+// Everything the observability layer records is attributed along two
+// dimensions: the tenant an IO belongs to and the SSD (pipeline) it was
+// served by. A value of -1 means "not applicable" (e.g. a per-SSD gauge has
+// no tenant). The metrics registry adds a third, registry-level dimension —
+// the run label — so one bench binary that builds several testbeds keeps
+// their series separate (see MetricsRegistry::set_run).
+#pragma once
+
+#include <cstdint>
+
+namespace gimbal::obs {
+
+struct Labels {
+  int32_t tenant = -1;
+  int32_t ssd = -1;
+
+  static Labels Ssd(int ssd_index) { return Labels{-1, ssd_index}; }
+  static Labels TenantSsd(int32_t tenant, int ssd_index) {
+    return Labels{tenant, ssd_index};
+  }
+
+  friend bool operator==(const Labels& a, const Labels& b) {
+    return a.tenant == b.tenant && a.ssd == b.ssd;
+  }
+};
+
+}  // namespace gimbal::obs

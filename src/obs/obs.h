@@ -1,0 +1,19 @@
+// The observability bundle handed to instrumented components.
+//
+// One Observability instance per experiment (the bench harness owns it; see
+// bench/bench_util.h). Components receive a nullable pointer through their
+// AttachObservability methods — a null pointer means "not observed" and
+// costs one branch per instrumentation site.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace gimbal::obs {
+
+struct Observability {
+  MetricsRegistry metrics;
+  EventTracer tracer;
+};
+
+}  // namespace gimbal::obs

@@ -1,0 +1,161 @@
+// The repo-wide metric and trace-event catalogue.
+//
+// Every MetricDef and trace-event name the instruments emit lives here so
+// the schema has one source of truth in code. docs/OBSERVABILITY.md is the
+// human-readable mirror — keep both in sync when adding instruments (the
+// doc is part of the review checklist for any PR touching this file).
+#pragma once
+
+#include "obs/metrics.h"
+
+namespace gimbal::obs::schema {
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+inline constexpr MetricDef kTargetAdmitted{
+    "fabric.target.admitted", "ios",
+    "NVMe-oF command capsules admitted at the target ingress",
+    "fabric/target.cc:OnCommandCapsule"};
+inline constexpr MetricDef kTargetAdmittedBytes{
+    "fabric.target.admitted_bytes", "bytes",
+    "payload bytes of admitted command capsules",
+    "fabric/target.cc:OnCommandCapsule"};
+inline constexpr MetricDef kPolicyDispatched{
+    "policy.dispatched", "ios",
+    "commands the per-SSD policy handed to the block device",
+    "core/io_policy.h:SubmitToDevice"};
+inline constexpr MetricDef kPolicyCompleted{
+    "policy.completed", "ios",
+    "commands completed back to the fabric (ok=true path)",
+    "core/io_policy.h:Deliver"};
+inline constexpr MetricDef kPolicyCompletedBytes{
+    "policy.completed_bytes", "bytes", "payload bytes of completed commands",
+    "core/io_policy.h:Deliver"};
+inline constexpr MetricDef kClientCompleted{
+    "client.completed", "ios",
+    "successful completions observed at the client initiator (same event "
+    "that feeds the fio worker stats, so totals match stdout exactly)",
+    "fabric/initiator.cc:OnFabricCompletion"};
+inline constexpr MetricDef kClientCompletedBytes{
+    "client.completed_bytes", "bytes",
+    "payload bytes of successful client-observed completions",
+    "fabric/initiator.cc:OnFabricCompletion"};
+inline constexpr MetricDef kPolicyFailed{
+    "policy.failed", "ios",
+    "queued commands failed back to the client on tenant disconnect",
+    "core/gimbal_switch.cc:OnTenantDisconnect"};
+inline constexpr MetricDef kCongestionSignals{
+    "gimbal.congestion.signals", "events",
+    "completions whose latency monitor reported the congested state",
+    "core/gimbal_switch.cc:OnDeviceCompletion"};
+inline constexpr MetricDef kOverloadEvents{
+    "gimbal.overload.events", "events",
+    "completions whose latency monitor reported the overloaded state",
+    "core/gimbal_switch.cc:OnDeviceCompletion"};
+inline constexpr MetricDef kPacingStalls{
+    "gimbal.pacing.stalls", "events",
+    "head-of-line submissions deferred because the token bucket was dry",
+    "core/gimbal_switch.cc:Pump"};
+inline constexpr MetricDef kCreditGrants{
+    "gimbal.credit.grants", "events",
+    "credits piggybacked on completions (one grant per completion)",
+    "core/gimbal_switch.cc:OnDeviceCompletion"};
+inline constexpr MetricDef kSsdReadCommands{
+    "ssd.read.commands", "ios", "read commands dispatched inside the SSD",
+    "ssd/ssd.cc:DispatchRead"};
+inline constexpr MetricDef kSsdWriteCommands{
+    "ssd.write.commands", "ios", "write commands dispatched inside the SSD",
+    "ssd/ssd.cc:DispatchWrite"};
+inline constexpr MetricDef kSsdReadBytes{
+    "ssd.read.bytes", "bytes", "bytes read from the SSD",
+    "ssd/ssd.cc:DispatchRead"};
+inline constexpr MetricDef kSsdWriteBytes{
+    "ssd.write.bytes", "bytes", "bytes written to the SSD",
+    "ssd/ssd.cc:DispatchWrite"};
+inline constexpr MetricDef kSsdGcInvocations{
+    "ssd.gc.invocations", "events",
+    "garbage-collection activations (low-watermark crossings per die)",
+    "ssd/ssd.cc:MaybeStartGc"};
+inline constexpr MetricDef kSsdGcPagesRelocated{
+    "ssd.gc.pages_relocated", "pages", "valid pages relocated by GC",
+    "ssd/ssd.cc:GcRelocateBatch"};
+inline constexpr MetricDef kSsdBlocksErased{
+    "ssd.gc.blocks_erased", "blocks", "victim blocks erased by GC",
+    "ssd/ssd.cc:GcRelocateBatch"};
+
+// ---------------------------------------------------------------------------
+// Gauges
+// ---------------------------------------------------------------------------
+inline constexpr MetricDef kTargetRate{
+    "gimbal.rate.target_bps", "bytes/s",
+    "rate controller's current target submission rate",
+    "core/rate_controller.cc:OnCompletion"};
+inline constexpr MetricDef kCompletionRate{
+    "gimbal.rate.completion_bps", "bytes/s",
+    "measured completion rate over the last closed window",
+    "core/rate_controller.cc:OnCompletion"};
+inline constexpr MetricDef kWriteCost{
+    "gimbal.write_cost", "ratio",
+    "ADMI-estimated cost of one written byte in read-byte equivalents",
+    "core/write_cost.h:PeriodicUpdate"};
+inline constexpr MetricDef kEwmaRead{
+    "gimbal.ewma_ns.read", "ns", "EWMA of read completion latency",
+    "core/latency_monitor.cc:Update"};
+inline constexpr MetricDef kEwmaWrite{
+    "gimbal.ewma_ns.write", "ns", "EWMA of write completion latency",
+    "core/latency_monitor.cc:Update"};
+inline constexpr MetricDef kThreshRead{
+    "gimbal.thresh_ns.read", "ns", "dynamic congestion threshold (reads)",
+    "core/latency_monitor.cc:Update"};
+inline constexpr MetricDef kThreshWrite{
+    "gimbal.thresh_ns.write", "ns", "dynamic congestion threshold (writes)",
+    "core/latency_monitor.cc:Update"};
+inline constexpr MetricDef kStateRead{
+    "gimbal.state.read", "enum",
+    "read congestion state (0=under-utilized .. 3=overloaded)",
+    "core/latency_monitor.cc:Update"};
+inline constexpr MetricDef kStateWrite{
+    "gimbal.state.write", "enum",
+    "write congestion state (0=under-utilized .. 3=overloaded)",
+    "core/latency_monitor.cc:Update"};
+inline constexpr MetricDef kQueueDepth{
+    "gimbal.queue_depth", "ios", "requests queued in the DRR scheduler",
+    "core/gimbal_switch.cc:OnRequest/Pump"};
+inline constexpr MetricDef kCreditLast{
+    "gimbal.credit.last", "credits",
+    "most recent credit granted to this tenant",
+    "core/gimbal_switch.cc:OnDeviceCompletion"};
+inline constexpr MetricDef kSsdBufferUsed{
+    "ssd.buffer.used_bytes", "bytes", "DRAM write-buffer occupancy",
+    "ssd/ssd.cc:AdmitWrite/PumpDie"};
+
+// ---------------------------------------------------------------------------
+// Histograms (log-bucketed; JSON/CSV report count/min/mean/p50/p95/p99/max)
+// ---------------------------------------------------------------------------
+inline constexpr MetricDef kDeviceLatency{
+    "policy.latency.device_ns", "ns",
+    "SSD submit-to-complete latency per completed command",
+    "core/io_policy.h:Deliver"};
+inline constexpr MetricDef kTargetLatency{
+    "policy.latency.target_ns", "ns",
+    "target-ingress-to-completion latency per completed command",
+    "core/io_policy.h:Deliver"};
+
+// ---------------------------------------------------------------------------
+// Trace event names (see docs/OBSERVABILITY.md for args and sites)
+// ---------------------------------------------------------------------------
+inline constexpr const char* kEvAdmit = "io.admit";
+inline constexpr const char* kEvDispatch = "io.dispatch";
+inline constexpr const char* kEvComplete = "io.complete";
+inline constexpr const char* kEvFail = "io.fail";
+inline constexpr const char* kEvCongestionRead = "congestion.read";
+inline constexpr const char* kEvCongestionWrite = "congestion.write";
+inline constexpr const char* kEvRateUpdate = "rate.update";
+inline constexpr const char* kEvCreditGrant = "credit.grant";
+inline constexpr const char* kEvWriteCost = "wc.update";
+inline constexpr const char* kEvGcStart = "gc.start";
+inline constexpr const char* kEvGcEnd = "gc.end";
+inline constexpr const char* kEvDisconnect = "tenant.disconnect";
+
+}  // namespace gimbal::obs::schema

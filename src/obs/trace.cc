@@ -1,0 +1,119 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <set>
+
+#include "obs/json.h"
+
+namespace gimbal::obs {
+
+void EventTracer::Push(Tick ts, Tick dur, const char* name, Labels labels,
+                       std::initializer_list<TraceArg> args) {
+  if (events_.size() >= limit_) {
+    ++dropped_;
+    return;
+  }
+  Event e;
+  e.ts = ts;
+  e.dur = dur;
+  e.name = name;
+  e.labels = labels;
+  for (const TraceArg& a : args) {
+    if (e.nargs >= kMaxArgs) break;
+    e.args[e.nargs++] = a;
+  }
+  events_.push_back(e);
+}
+
+namespace {
+
+void AppendArgs(const EventTracer::Event& e, std::string& out) {
+  out += "{";
+  for (uint32_t i = 0; i < e.nargs; ++i) {
+    if (i) out += ',';
+    out += JsonQuote(e.args[i].key) + ":" + JsonNumber(e.args[i].value);
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string EventTracer::ToChromeJson() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  // Name the pid/tid tracks so chrome://tracing shows "ssd N" / "tenant N"
+  // instead of bare numbers.
+  std::set<int32_t> ssds;
+  std::set<std::pair<int32_t, int32_t>> tenants;  // (ssd, tenant)
+  for (const Event& e : events_) {
+    const int32_t pid = e.labels.ssd >= 0 ? e.labels.ssd : 0;
+    const int32_t tid = e.labels.tenant >= 0 ? e.labels.tenant : 0;
+    ssds.insert(pid);
+    tenants.insert({pid, tid});
+  }
+  for (int32_t s : ssds) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" + JsonNumber(s) +
+           ",\"args\":{\"name\":\"ssd " + JsonNumber(s) + "\"}}";
+  }
+  for (const auto& [s, t] : tenants) {
+    out += ",{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" + JsonNumber(s) +
+           ",\"tid\":" + JsonNumber(t) + ",\"args\":{\"name\":\"tenant " +
+           JsonNumber(t) + "\"}}";
+  }
+  for (const Event& e : events_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":" + JsonQuote(e.name);
+    out += ",\"cat\":\"gimbal\"";
+    // Chrome trace timestamps are microseconds; ticks are nanoseconds.
+    if (e.dur >= 0) {
+      out += ",\"ph\":\"X\",\"ts\":" +
+             JsonNumber(static_cast<double>(e.ts) / 1000.0) +
+             ",\"dur\":" + JsonNumber(static_cast<double>(e.dur) / 1000.0);
+    } else {
+      out += ",\"ph\":\"i\",\"s\":\"t\",\"ts\":" +
+             JsonNumber(static_cast<double>(e.ts) / 1000.0);
+    }
+    out += ",\"pid\":" + JsonNumber(e.labels.ssd >= 0 ? e.labels.ssd : 0);
+    out += ",\"tid\":" + JsonNumber(e.labels.tenant >= 0 ? e.labels.tenant : 0);
+    out += ",\"args\":";
+    AppendArgs(e, out);
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":" +
+         JsonNumber(static_cast<double>(dropped_)) + "}}";
+  return out;
+}
+
+std::string EventTracer::ToJsonl() const {
+  std::string out;
+  for (const Event& e : events_) {
+    out += "{\"ts\":" + JsonNumber(static_cast<double>(e.ts));
+    out += ",\"ev\":" + JsonQuote(e.name);
+    if (e.dur >= 0) out += ",\"dur\":" + JsonNumber(static_cast<double>(e.dur));
+    if (e.labels.tenant >= 0) {
+      out += ",\"tenant\":" + JsonNumber(e.labels.tenant);
+    }
+    if (e.labels.ssd >= 0) out += ",\"ssd\":" + JsonNumber(e.labels.ssd);
+    for (uint32_t i = 0; i < e.nargs; ++i) {
+      out += ',' + JsonQuote(e.args[i].key) + ':' + JsonNumber(e.args[i].value);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+bool EventTracer::WriteFile(const std::string& path) const {
+  const bool jsonl =
+      path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string body = jsonl ? ToJsonl() : ToChromeJson();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace gimbal::obs

@@ -9,6 +9,7 @@
 
 #include "common/time.h"
 #include "nvme/types.h"
+#include "obs/obs.h"
 
 namespace gimbal::ssd {
 
@@ -45,6 +46,13 @@ class BlockDevice {
   virtual void Trim(uint64_t offset, uint32_t length) {
     (void)offset;
     (void)length;
+  }
+
+  // Attach metrics/trace sinks; `ssd_index` labels everything this device
+  // emits. Devices without instrumentation ignore it.
+  virtual void AttachObservability(obs::Observability* obs, int ssd_index) {
+    (void)obs;
+    (void)ssd_index;
   }
 
   // Device capacity in bytes.

@@ -2,7 +2,26 @@
 
 #include <cassert>
 
+#include "obs/schema.h"
+
 namespace gimbal::ssd {
+
+void Ssd::AttachObservability(obs::Observability* obs, int ssd_index) {
+  obs_ = obs;
+  ssd_index_ = ssd_index;
+  if (!obs_) return;
+  namespace schema = obs::schema;
+  const obs::Labels l = obs::Labels::Ssd(ssd_index_);
+  obs::MetricsRegistry& reg = obs_->metrics;
+  m_read_cmds_ = &reg.GetCounter(schema::kSsdReadCommands, l);
+  m_write_cmds_ = &reg.GetCounter(schema::kSsdWriteCommands, l);
+  m_read_bytes_ = &reg.GetCounter(schema::kSsdReadBytes, l);
+  m_write_bytes_ = &reg.GetCounter(schema::kSsdWriteBytes, l);
+  m_gc_runs_ = &reg.GetCounter(schema::kSsdGcInvocations, l);
+  m_gc_pages_ = &reg.GetCounter(schema::kSsdGcPagesRelocated, l);
+  m_gc_erased_ = &reg.GetCounter(schema::kSsdBlocksErased, l);
+  m_buffer_used_ = &reg.GetGauge(schema::kSsdBufferUsed, l);
+}
 
 Ssd::Ssd(sim::Simulator& sim, SsdConfig config)
     : sim_(sim), config_(config), ftl_(config), cmd_engine_(sim) {
@@ -66,6 +85,10 @@ void Ssd::DispatchRead(const DeviceIo& io, CompletionFn done,
                        Tick submit_time) {
   ++counters_.read_commands;
   counters_.read_bytes += io.length;
+  if (m_read_cmds_) {
+    m_read_cmds_->Add(1);
+    m_read_bytes_->Add(io.length);
+  }
 
   const uint32_t first = static_cast<uint32_t>(io.offset / config_.page_bytes);
   const uint32_t npages = io.length / config_.page_bytes;
@@ -136,6 +159,10 @@ void Ssd::DispatchWrite(const DeviceIo& io, CompletionFn done,
                         Tick submit_time) {
   ++counters_.write_commands;
   counters_.write_bytes += io.length;
+  if (m_write_cmds_) {
+    m_write_cmds_->Add(1);
+    m_write_bytes_->Add(io.length);
+  }
   if (admit_wait_.empty() && buffer_free() >= io.length) {
     AdmitWrite(io, std::move(done), submit_time);
   } else {
@@ -145,6 +172,9 @@ void Ssd::DispatchWrite(const DeviceIo& io, CompletionFn done,
 
 void Ssd::AdmitWrite(const DeviceIo& io, CompletionFn done, Tick submit_time) {
   buffer_used_ += io.length;
+  if (m_buffer_used_) {
+    m_buffer_used_->Set(static_cast<double>(buffer_used_));
+  }
   const uint32_t first = static_cast<uint32_t>(io.offset / config_.page_bytes);
   const uint32_t npages = io.length / config_.page_bytes;
   for (uint32_t i = 0; i < npages; ++i) {
@@ -224,6 +254,9 @@ void Ssd::PumpDie(int die) {
             }
           }
           buffer_used_ -= bytes;
+          if (m_buffer_used_) {
+            m_buffer_used_->Set(static_cast<double>(buffer_used_));
+          }
           pump_active_[die] = 0;
           AdmitWaiters();
           MaybeStartGc(die);
@@ -237,12 +270,25 @@ void Ssd::MaybeStartGc(int die) {
   if (!ftl_.NeedsGc(die)) return;
   gc_active_[die] = 1;
   ++counters_.gc_runs;
+  if (obs_) {
+    m_gc_runs_->Add(1);
+    obs_->tracer.Instant(sim_.now(), obs::schema::kEvGcStart,
+                         obs::Labels::Ssd(ssd_index_),
+                         {{"die", static_cast<double>(die)},
+                          {"free_blocks",
+                           static_cast<double>(ftl_.FreeBlocks(die))}});
+  }
   GcStep(die);
 }
 
 void Ssd::GcStep(int die) {
   if (ftl_.GcSatisfied(die)) {
     gc_active_[die] = 0;
+    if (obs_) {
+      obs_->tracer.Instant(sim_.now(), obs::schema::kEvGcEnd,
+                           obs::Labels::Ssd(ssd_index_),
+                           {{"die", static_cast<double>(die)}});
+    }
     PumpDie(die);
     return;
   }
@@ -253,6 +299,11 @@ void Ssd::GcStep(int die) {
     // Nothing reclaimable, or the die is packed solid with valid data
     // (relocation would gain nothing): stand down until state changes.
     gc_active_[die] = 0;
+    if (obs_) {
+      obs_->tracer.Instant(sim_.now(), obs::schema::kEvGcEnd,
+                           obs::Labels::Ssd(ssd_index_),
+                           {{"die", static_cast<double>(die)}});
+    }
     return;
   }
   auto valid = std::make_shared<std::vector<Lpn>>(
@@ -277,6 +328,7 @@ void Ssd::GcRelocateBatch(int die, uint32_t victim,
           return;
         }
         ftl_.EraseBlock(victim);
+        if (m_gc_erased_) m_gc_erased_->Add(1);
         AdmitWaiters();
         // A freed block may unblock pumps beyond this die (pages can have
         // been redistributed while it was packed).
@@ -296,6 +348,7 @@ void Ssd::GcRelocateBatch(int die, uint32_t victim,
     die_res_[die]->AcquireLow(config_.program_latency, [this, die, victim,
                                                         valid, index, end]() {
       ftl_.BeginGcAllocation();
+      uint64_t relocated = 0;
       for (size_t i = index; i < end; ++i) {
         Lpn lpn = (*valid)[i];
         // Skip pages the host overwrote after victim selection — their
@@ -303,8 +356,10 @@ void Ssd::GcRelocateBatch(int die, uint32_t victim,
         Ppn cur = ftl_.Translate(lpn);
         if (cur == kInvalidPage || ftl_.BlockOf(cur) != victim) continue;
         ftl_.AllocateOnDie(lpn, die);
+        ++relocated;
       }
       ftl_.EndGcAllocation();
+      if (m_gc_pages_ && relocated) m_gc_pages_->Add(relocated);
       GcRelocateBatch(die, victim, valid, end);
     });
   });

@@ -48,6 +48,7 @@ class Ssd : public BlockDevice {
   // BlockDevice interface -----------------------------------------------------
   void Submit(const DeviceIo& io, CompletionFn done) override;
   void Trim(uint64_t offset, uint32_t length) override;
+  void AttachObservability(obs::Observability* obs, int ssd_index) override;
   uint64_t capacity_bytes() const override { return config_.logical_bytes; }
   uint32_t inflight() const override { return inflight_; }
 
@@ -123,6 +124,18 @@ class Ssd : public BlockDevice {
 
   SsdCounters counters_;
   uint32_t inflight_ = 0;
+
+  // Observability (null = not observed; see docs/OBSERVABILITY.md).
+  obs::Observability* obs_ = nullptr;
+  int ssd_index_ = -1;
+  obs::Counter* m_read_cmds_ = nullptr;
+  obs::Counter* m_write_cmds_ = nullptr;
+  obs::Counter* m_read_bytes_ = nullptr;
+  obs::Counter* m_write_bytes_ = nullptr;
+  obs::Counter* m_gc_runs_ = nullptr;
+  obs::Counter* m_gc_pages_ = nullptr;
+  obs::Counter* m_gc_erased_ = nullptr;
+  obs::Gauge* m_buffer_used_ = nullptr;
 };
 
 }  // namespace gimbal::ssd

@@ -25,8 +25,12 @@ fabric::ThrottleMode ThrottleFor(Scheme s) {
 }
 
 Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg) {
+  if (cfg_.obs && cfg_.run_label.empty()) cfg_.run_label = ToString(cfg_.scheme);
+  if (cfg_.obs) cfg_.obs->metrics.set_run(cfg_.run_label);
   net_ = std::make_unique<fabric::Network>(sim_, cfg_.net);
   target_ = std::make_unique<fabric::Target>(sim_, *net_, cfg_.target);
+  // Attach before AddPipeline so policies resolve handles as they appear.
+  target_->AttachObservability(cfg_.obs);
   for (int i = 0; i < cfg_.num_ssds; ++i) {
     if (cfg_.use_null_device) {
       devices_.push_back(std::make_unique<ssd::NullDevice>(sim_));
@@ -41,6 +45,7 @@ Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg) {
       ssds_.push_back(dev.get());
       devices_.push_back(std::move(dev));
     }
+    if (cfg_.obs) devices_.back()->AttachObservability(cfg_.obs, i);
     int id = target_->AddPipeline(MakePolicy(*devices_.back()));
     assert(id == i);
     (void)id;
@@ -78,6 +83,7 @@ fabric::Initiator& Testbed::AddInitiator(
   initiators_.push_back(std::make_unique<fabric::Initiator>(
       sim_, *net_, *target_, ssd_index, next_tenant_++,
       throttle.value_or(ThrottleFor(cfg_.scheme)), cfg_.parda));
+  initiators_.back()->AttachObservability(cfg_.obs);
   return *initiators_.back();
 }
 
@@ -94,6 +100,9 @@ void Testbed::Run(Tick warmup, Tick measure) {
   for (auto& w : workers_) w->Start();
   sim_.RunUntil(sim_.now() + warmup);
   for (auto& w : workers_) w->stats().Reset();
+  // Align metric totals with the workers' measurement window (gauges and
+  // latency EWMAs keep their warmed-up values; counters/histograms restart).
+  if (cfg_.obs) cfg_.obs->metrics.ResetRun(cfg_.run_label);
   sim_.RunUntil(sim_.now() + measure);
   measured_ = measure;
 }
@@ -106,6 +115,10 @@ double StandaloneBandwidth(const TestbedConfig& cfg, const FioSpec& spec,
   // flatter its fairness number.
   TestbedConfig standalone_cfg = cfg;
   standalone_cfg.scheme = Scheme::kVanilla;
+  // Standalone runs are denominators, not results: keep them out of the
+  // caller's metrics/trace output.
+  standalone_cfg.obs = nullptr;
+  standalone_cfg.run_label.clear();
   Testbed bed(standalone_cfg);
   for (int i = 0; i < workers; ++i) {
     FioSpec s = spec;

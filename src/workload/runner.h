@@ -19,6 +19,7 @@
 #include "fabric/initiator.h"
 #include "fabric/network.h"
 #include "fabric/target.h"
+#include "obs/obs.h"
 #include "sim/simulator.h"
 #include "ssd/null_device.h"
 #include "ssd/ssd.h"
@@ -49,6 +50,14 @@ struct TestbedConfig {
   baselines::FlashFqParams flashfq = {};
   baselines::TimesliceParams timeslice = {};
   bool use_null_device = false;  // Table 1b's NULL bdev mode
+
+  // Optional metrics/trace sinks (see docs/OBSERVABILITY.md). When set, the
+  // testbed attaches them to the target, every policy and every SSD, and
+  // labels everything it emits with `run_label` (defaults to the scheme
+  // name). Run(warmup, ...) resets this run's counters at the end of
+  // warmup so metric totals cover exactly the measurement window.
+  obs::Observability* obs = nullptr;
+  std::string run_label;
 };
 
 class Testbed {

@@ -163,6 +163,42 @@ TEST(Histogram, EmptyIsZero) {
   EXPECT_EQ(h.mean(), 0.0);
 }
 
+TEST(Histogram, EmptyEveryQuantileDefined) {
+  // Zero-count convention shared with StreamingStats and obs::Histogram:
+  // every quantile of an empty histogram is 0, even for out-of-range or
+  // non-finite q.
+  LatencyHistogram h;
+  EXPECT_EQ(h.Percentile(0.0), 0);
+  EXPECT_EQ(h.Percentile(0.5), 0);
+  EXPECT_EQ(h.Percentile(1.0), 0);
+  EXPECT_EQ(h.Percentile(-1.0), 0);
+  EXPECT_EQ(h.Percentile(2.0), 0);
+  EXPECT_EQ(h.Percentile(std::nan("")), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(Histogram, QuantileArgumentClamped) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(i);
+  EXPECT_EQ(h.Percentile(-0.5), h.Percentile(0.0));
+  EXPECT_EQ(h.Percentile(1.5), h.Percentile(1.0));
+  EXPECT_EQ(h.Percentile(std::nan("")), h.Percentile(0.0));
+}
+
+TEST(StreamingStats, EmptyReportsZeroNotSentinels) {
+  StreamingStats s;
+  EXPECT_EQ(s.min(), 0.0);  // not +inf
+  EXPECT_EQ(s.max(), 0.0);  // not -inf
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_FALSE(std::isnan(s.mean()));
+  s.Add(5);
+  s.Reset();
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
 TEST(Histogram, ExactSmallValues) {
   LatencyHistogram h;
   for (int i = 0; i < 32; ++i) h.Record(i);

@@ -146,7 +146,8 @@ TEST(GimbalSwitch, ManyTenantsAllServed) {
   uint64_t id = 1;
   for (int round = 0; round < 50; ++round) {
     for (TenantId t = 1; t <= 24; ++t) {
-      sw.OnRequest(Req(id++, t, IoType::kRead, 4096, (id % 128) * 4096));
+      const uint64_t this_id = id++;
+      sw.OnRequest(Req(this_id, t, IoType::kRead, 4096, (id % 128) * 4096));
     }
   }
   sim.Run();
