@@ -128,6 +128,29 @@ std::vector<IoRequest> DrrScheduler::Disconnect(TenantId tenant) {
   return dropped;
 }
 
+std::vector<IoRequest> DrrScheduler::DrainAll() {
+  std::vector<IoRequest> dropped;
+  for (auto& [id, tp] : tenants_) {
+    TenantState& t = *tp;
+    std::vector<IoRequest> d = t.DrainQueues();
+    queued_total_ -= static_cast<uint32_t>(d.size());
+    dropped.insert(dropped.end(), d.begin(), d.end());
+    t.DropEmptyOpenSlot();
+    t.deficit = 0;
+    t.in_active = false;
+    t.in_deferred = false;
+    UpdateBusy(t);
+  }
+  active_.clear();
+  // unordered_map iteration order is implementation-defined; sort so the
+  // fail-fast completions reach clients in a reproducible order.
+  std::sort(dropped.begin(), dropped.end(),
+            [](const IoRequest& a, const IoRequest& b) {
+              return a.tenant != b.tenant ? a.tenant < b.tenant : a.id < b.id;
+            });
+  return dropped;
+}
+
 void DrrScheduler::OnCompletion(TenantId tenant, uint64_t slot_id) {
   TenantState& t = GetTenant(tenant);
   t.OnCompletion(slot_id);

@@ -52,6 +52,14 @@ class DrrScheduler {
   // reaped once the last one returns.
   std::vector<IoRequest> Disconnect(TenantId tenant);
 
+  // Device failure (docs/FAULTS.md): drain every tenant's queues and
+  // return all still-queued requests, sorted by (tenant, id) for a
+  // deterministic fail order. Tenants stay registered — unlike
+  // Disconnect() they reconnect to the SSD when it recovers — and slots
+  // charged to device-inflight IOs are returned through OnCompletion as
+  // their (failed) completions arrive.
+  std::vector<IoRequest> DrainAll();
+
   size_t tenant_count() const { return tenants_.size(); }
 
   // Per-tenant slot allotment: the threshold divided evenly among busy

@@ -35,6 +35,12 @@ void GimbalSwitch::AttachObservability(obs::Observability* obs,
 
 void GimbalSwitch::OnRequest(const IoRequest& req) {
   ++stats_.requests;
+  if (health_ == fault::SsdHealth::kFailed) {
+    // Fail fast rather than queueing behind a dead device: the client
+    // learns immediately and can redirect (docs/FAULTS.md).
+    FailRequest(req, IoStatus::kDeviceFailed);
+    return;
+  }
   scheduler_.Enqueue(req);
   if (m_queue_depth_) {
     m_queue_depth_->Set(static_cast<double>(scheduler_.queued_total()));
@@ -52,27 +58,37 @@ void GimbalSwitch::OnTenantDisconnect(TenantId tenant) {
         obs::Labels::TenantSsd(static_cast<int32_t>(tenant), ssd_index_));
   }
   for (const IoRequest& req : scheduler_.Disconnect(tenant)) {
-    IoCompletion cpl;
-    cpl.id = req.id;
-    cpl.tenant = req.tenant;
-    cpl.type = req.type;
-    cpl.length = req.length;
-    cpl.ok = false;
-    if (obs_) {
-      obs_->metrics
-          .GetCounter(obs::schema::kPolicyFailed,
-                      obs::Labels::TenantSsd(static_cast<int32_t>(tenant),
-                                             ssd_index_))
-          .Add(1);
-      obs_->tracer.Instant(
-          sim_.now(), obs::schema::kEvFail,
-          obs::Labels::TenantSsd(static_cast<int32_t>(tenant), ssd_index_),
-          {{"bytes", static_cast<double>(req.length)}});
-    }
-    if (complete_) complete_(req, cpl);
+    FailRequest(req, IoStatus::kAborted);
   }
   if (m_queue_depth_) {
     m_queue_depth_->Set(static_cast<double>(scheduler_.queued_total()));
+  }
+}
+
+void GimbalSwitch::OnSsdHealthChange(fault::SsdHealth health) {
+  health_ = health;
+  if (health == fault::SsdHealth::kFailed) {
+    // Fail-fast drain: everything queued behind the dead device returns to
+    // the clients now instead of timing out one retry at a time. The
+    // head-of-line request was already charged to a virtual slot, so the
+    // slot is returned before failing it; device-inflight IOs come back as
+    // status=device_failed through the normal completion path.
+    if (head_) {
+      scheduler_.OnCompletion(head_->req.tenant, head_->slot_id);
+      FailRequest(head_->req, IoStatus::kDeviceFailed);
+      head_.reset();
+    }
+    for (const IoRequest& req : scheduler_.DrainAll()) {
+      FailRequest(req, IoStatus::kDeviceFailed);
+    }
+    if (m_queue_depth_) {
+      m_queue_depth_->Set(static_cast<double>(scheduler_.queued_total()));
+    }
+  } else if (health == fault::SsdHealth::kRecovering) {
+    // Forget fault-era latency history before fresh traffic arrives, so
+    // the first post-recovery completions are not judged overloaded
+    // against a stalled EWMA.
+    rate_.ResetMonitors();
   }
 }
 
@@ -128,19 +144,23 @@ void GimbalSwitch::OnDeviceCompletion(const IoRequest& req,
   --io_outstanding_;
 
   // Algorithm 1, Completion(): latency feedback -> congestion state ->
-  // target rate adjustment.
-  CongestionState state =
-      rate_.OnCompletion(req.type, dc.latency(), req.length, sim_.now());
-  if (state == CongestionState::kCongested) {
-    ++stats_.congestion_signals;
-    if (m_congestion_signals_) m_congestion_signals_->Add(1);
+  // target rate adjustment. Faulted completions are excluded — a media
+  // error's response time says nothing about queueing delay, and letting
+  // it poison the EWMAs would throttle the healthy tenants sharing the SSD
+  // (docs/FAULTS.md).
+  if (dc.ok()) {
+    CongestionState state =
+        rate_.OnCompletion(req.type, dc.latency(), req.length, sim_.now());
+    if (state == CongestionState::kCongested) {
+      ++stats_.congestion_signals;
+      if (m_congestion_signals_) m_congestion_signals_->Add(1);
+    }
+    if (state == CongestionState::kOverloaded) {
+      ++stats_.overload_events;
+      if (m_overload_events_) m_overload_events_->Add(1);
+    }
+    MaybeUpdateWriteCost();
   }
-  if (state == CongestionState::kOverloaded) {
-    ++stats_.overload_events;
-    if (m_overload_events_) m_overload_events_->Add(1);
-  }
-
-  MaybeUpdateWriteCost();
 
   // Algorithm 2, Sched_Complete(): return the IO to its virtual slot.
   scheduler_.OnCompletion(req.tenant, slot_id);

@@ -44,6 +44,7 @@ class GimbalSwitch : public PolicyBase {
   // IoPolicy ------------------------------------------------------------------
   void OnRequest(const IoRequest& req) override;
   void OnTenantDisconnect(TenantId tenant) override;
+  void OnSsdHealthChange(fault::SsdHealth health) override;
   uint32_t CreditFor(TenantId tenant) const override {
     return scheduler_.CreditFor(tenant);
   }
@@ -64,6 +65,7 @@ class GimbalSwitch : public PolicyBase {
   const DrrScheduler& scheduler() const { return scheduler_; }
   const GimbalParams& params() const { return params_; }
   uint32_t io_outstanding() const { return io_outstanding_; }
+  fault::SsdHealth ssd_health() const { return health_; }
 
   struct SwitchStats {
     uint64_t requests = 0;
@@ -92,6 +94,9 @@ class GimbalSwitch : public PolicyBase {
   std::optional<DrrScheduler::Scheduled> head_;
 
   uint32_t io_outstanding_ = 0;
+  // Last health transition observed from the fault layer; stays kHealthy
+  // forever when no FaultInjector is wired up.
+  fault::SsdHealth health_ = fault::SsdHealth::kHealthy;
   bool poke_scheduled_ = false;
   Tick last_cost_update_ = 0;
   SwitchStats stats_;

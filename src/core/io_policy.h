@@ -13,6 +13,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "fault/health.h"
 #include "nvme/types.h"
 #include "obs/obs.h"
 #include "obs/schema.h"
@@ -41,9 +42,15 @@ class IoPolicy {
   }
 
   // Tenant connection teardown. Policies holding queued requests fail
-  // them back through the completion path (ok=false); inflight device IOs
-  // complete normally.
+  // them back through the completion path (status=aborted); inflight
+  // device IOs complete normally.
   virtual void OnTenantDisconnect(TenantId tenant) { (void)tenant; }
+
+  // The fault layer observed a health transition of this policy's SSD
+  // (docs/FAULTS.md). Policies may drain and fail queued IOs fast on
+  // kFailed and reset latency feedback on recovery; the default ignores it
+  // (the FaultyDevice still fails whatever such a policy submits).
+  virtual void OnSsdHealthChange(fault::SsdHealth health) { (void)health; }
 
   // Current total credit for a tenant (Algorithm 3's credit_obtain);
   // policies without flow control grant effectively-unlimited credit.
@@ -120,7 +127,10 @@ class PolicyBase : public IoPolicy {
                                   const ssd::DeviceCompletion& dc,
                                   uint64_t tag) = 0;
 
-  // Send the completion up to the target/fabric.
+  // Send the completion up to the target/fabric. Failed completions (a
+  // non-ok device status) are counted separately and excluded from the
+  // latency histograms — a media error's response time is not a service
+  // latency sample.
   void Deliver(const IoRequest& req, const ssd::DeviceCompletion& dc,
                uint32_t credit = 0) {
     IoCompletion cpl;
@@ -128,23 +138,55 @@ class PolicyBase : public IoPolicy {
     cpl.tenant = req.tenant;
     cpl.type = req.type;
     cpl.length = req.length;
+    cpl.status = dc.status;
     cpl.device_latency = dc.latency();
     cpl.target_latency = sim_.now() - req.target_arrival;
     cpl.credit = credit;
     if (obs_) {
-      TenantMetrics& tm = MetricsFor(req.tenant);
-      tm.completed->Add(1);
-      tm.completed_bytes->Add(req.length);
-      tm.device_latency->Record(cpl.device_latency);
-      tm.target_latency->Record(cpl.target_latency);
-      // The device-service span renders as a bar from SSD submit to now.
-      obs_->tracer.Span(
-          sim_.now() - cpl.device_latency, cpl.device_latency,
-          obs::schema::kEvComplete,
-          obs::Labels::TenantSsd(static_cast<int32_t>(req.tenant), ssd_index_),
+      const obs::Labels l =
+          obs::Labels::TenantSsd(static_cast<int32_t>(req.tenant), ssd_index_);
+      if (cpl.ok()) {
+        TenantMetrics& tm = MetricsFor(req.tenant);
+        tm.completed->Add(1);
+        tm.completed_bytes->Add(req.length);
+        tm.device_latency->Record(cpl.device_latency);
+        tm.target_latency->Record(cpl.target_latency);
+        // The device-service span renders as a bar from SSD submit to now.
+        obs_->tracer.Span(
+            sim_.now() - cpl.device_latency, cpl.device_latency,
+            obs::schema::kEvComplete, l,
+            {{"bytes", static_cast<double>(req.length)},
+             {"write", req.type == IoType::kWrite ? 1.0 : 0.0},
+             {"credit", static_cast<double>(credit)}});
+      } else {
+        obs_->metrics.GetCounter(obs::schema::kPolicyFailed, l).Add(1);
+        obs_->tracer.Instant(
+            sim_.now(), obs::schema::kEvFail, l,
+            {{"bytes", static_cast<double>(req.length)},
+             {"status", static_cast<double>(static_cast<int>(cpl.status))}});
+      }
+    }
+    if (complete_) complete_(req, cpl);
+  }
+
+  // Fail a request that never reached the device (disconnect teardown,
+  // fail-fast drain of a failed SSD) back to the client with `status`.
+  void FailRequest(const IoRequest& req, IoStatus status) {
+    IoCompletion cpl;
+    cpl.id = req.id;
+    cpl.tenant = req.tenant;
+    cpl.type = req.type;
+    cpl.length = req.length;
+    cpl.status = status;
+    cpl.target_latency = sim_.now() - req.target_arrival;
+    if (obs_) {
+      const obs::Labels l =
+          obs::Labels::TenantSsd(static_cast<int32_t>(req.tenant), ssd_index_);
+      obs_->metrics.GetCounter(obs::schema::kPolicyFailed, l).Add(1);
+      obs_->tracer.Instant(
+          sim_.now(), obs::schema::kEvFail, l,
           {{"bytes", static_cast<double>(req.length)},
-           {"write", req.type == IoType::kWrite ? 1.0 : 0.0},
-           {"credit", static_cast<double>(credit)}});
+           {"status", static_cast<double>(static_cast<int>(status))}});
     }
     if (complete_) complete_(req, cpl);
   }

@@ -49,6 +49,15 @@ class RateController {
   const DualTokenBucket& bucket() const { return bucket_; }
   double completion_rate() const { return completion_meter_.last_rate(); }
 
+  // Fault recovery (docs/FAULTS.md): clear both latency EWMAs and their
+  // congestion state so post-recovery completions are not judged against
+  // fault-era history. Target rate and bucket fill are kept — they re-adapt
+  // within a few completions.
+  void ResetMonitors() {
+    read_monitor_.Reset();
+    write_monitor_.Reset();
+  }
+
   // Attach metrics/trace sinks (propagated to both latency monitors).
   void AttachObservability(obs::Observability* obs, int ssd_index,
                            const sim::Simulator* sim);

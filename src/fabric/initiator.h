@@ -25,6 +25,30 @@ namespace gimbal::fabric {
 
 enum class ThrottleMode { kNone, kCredit, kParda };
 
+// Client-side fault tolerance knobs (docs/FAULTS.md). Defaults keep every
+// mechanism off so fault-free experiments are event-for-event unchanged:
+// no timers are armed and the event queue still drains to idle.
+struct RetryParams {
+  // Give up on an issued command this long after (re)transmission and
+  // retry it. 0 disables timeouts (and with them retries).
+  Tick io_timeout = 0;
+  // Retransmissions allowed per command before failing it status=timeout.
+  int max_retries = 3;
+  // Retry n backs off min(backoff_base * 2^(n-1), backoff_cap) before
+  // retransmitting.
+  Tick backoff_base = Microseconds(50);
+  Tick backoff_cap = Milliseconds(5);
+  // Heartbeat capsule period for the target's crash reaper. 0 = none.
+  Tick keepalive_interval = 0;
+};
+
+// Backoff before retry `n` (1-based): bounded exponential.
+inline Tick BackoffFor(const RetryParams& p, int n) {
+  Tick b = p.backoff_base;
+  for (int i = 1; i < n && b < p.backoff_cap; ++i) b *= 2;
+  return b < p.backoff_cap ? b : p.backoff_cap;
+}
+
 class Initiator : public CompletionSink {
  public:
   // Completion callback: the completion plus client-observed end-to-end
@@ -33,7 +57,7 @@ class Initiator : public CompletionSink {
 
   Initiator(sim::Simulator& sim, Network& net, Target& target, int pipeline,
             TenantId tenant, ThrottleMode mode = ThrottleMode::kNone,
-            baselines::PardaParams parda = {});
+            baselines::PardaParams parda = {}, RetryParams retry = {});
 
   // Queue an IO for issue; `done` fires when its completion returns.
   void Submit(IoType type, uint64_t offset, uint32_t length, IoPriority prio,
@@ -43,12 +67,25 @@ class Initiator : public CompletionSink {
   // bypasses the credit throttle and data-path scheduling.
   void Trim(uint64_t offset, uint32_t length);
 
-  // Graceful teardown: locally-queued IOs fail immediately (ok=false);
-  // issued IOs either complete normally or come back failed from the
-  // target's queues; a disconnect capsule tells the target to reap the
-  // tenant. No new Submits are accepted afterwards.
+  // Graceful teardown: locally-queued IOs fail immediately
+  // (status=aborted); issued IOs either complete normally or come back
+  // failed from the target's queues; a disconnect capsule tells the target
+  // to reap the tenant. No new Submits are accepted afterwards.
   void Shutdown();
   bool shutdown() const { return shutdown_; }
+
+  // Abrupt death (docs/FAULTS.md): like Shutdown but nothing crosses the
+  // fabric — no disconnect capsule, no more keepalives. Issued IOs fail
+  // locally (status=aborted); their completions, if any still arrive, are
+  // counted as late and dropped. The target only learns of the death via
+  // its keepalive session timeout.
+  void Crash();
+  bool crashed() const { return crashed_; }
+
+  uint64_t retries() const { return retries_; }
+  uint64_t timeouts() const { return timeouts_; }
+  uint64_t late_completions() const { return late_completions_; }
+  const RetryParams& retry_params() const { return retry_; }
 
   // Algorithm 3's device-busy signal, observable by applications.
   bool DeviceBusy() const { return !CanIssue(); }
@@ -73,10 +110,18 @@ class Initiator : public CompletionSink {
   struct Pending {
     IoRequest req;
     DoneFn done;
+    // Transmissions so far (1 = original). Timeout/backoff timers carry
+    // the attempt they were armed for and no-op on mismatch.
+    int attempts = 0;
   };
 
   bool CanIssue() const;
   void IssueLoop();
+  void SendCommand(const IoRequest& req);
+  void ArmTimeout(uint64_t id, int attempt);
+  void OnTimeout(uint64_t id, int attempt);
+  void KeepaliveTick();
+  void FailLocally(Pending p, IoStatus status);
 
   sim::Simulator& sim_;
   Network& net_;
@@ -85,6 +130,7 @@ class Initiator : public CompletionSink {
   TenantId tenant_;
   ThrottleMode mode_;
   baselines::PardaWindow parda_;
+  RetryParams retry_;
 
   std::deque<Pending> pending_;
   std::unordered_map<uint64_t, Pending> issued_;
@@ -92,10 +138,20 @@ class Initiator : public CompletionSink {
   uint32_t inflight_ = 0;
   uint32_t credit_total_ = 8;  // optimistic initial grant, refined by cpl
   bool shutdown_ = false;
+  bool crashed_ = false;
+  uint64_t retries_ = 0;
+  uint64_t timeouts_ = 0;
+  uint64_t late_completions_ = 0;
 
   // Observability (null = not observed).
+  obs::Counter* m_submitted_ = nullptr;
   obs::Counter* m_completed_ = nullptr;
   obs::Counter* m_completed_bytes_ = nullptr;
+  obs::Counter* m_failed_ = nullptr;
+  obs::Counter* m_retries_ = nullptr;
+  obs::Counter* m_timeouts_ = nullptr;
+  obs::Counter* m_late_ = nullptr;
+  obs::Observability* obs_ = nullptr;
 };
 
 }  // namespace gimbal::fabric

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "fault/fault.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
 
@@ -30,19 +31,36 @@ class Network {
       : sim_(sim), config_(config), c2t_(sim), t2c_(sim) {}
 
   // Deliver a `bytes`-sized message in `dir`; `deliver` runs after
-  // serialization on the shared link plus the base latency.
+  // serialization on the shared link plus the base latency. During a
+  // scheduled link flap (docs/FAULTS.md) the message may be silently
+  // dropped — recovery is the initiator's per-IO timeout — or delayed.
   void Send(Direction dir, uint64_t bytes, sim::EventFn deliver) {
+    Tick fault_delay = 0;
+    if (faults_) {
+      const fault::FaultInjector::LinkFault lf =
+          faults_->OnLinkMessage(sim_.now());
+      if (lf.drop) {
+        ++messages_dropped_;
+        return;
+      }
+      fault_delay = lf.extra_delay;
+    }
     sim::FifoResource& link =
         dir == Direction::kClientToTarget ? c2t_ : t2c_;
     bytes_sent_ += bytes;
     link.Acquire(TransferTime(bytes, config_.bandwidth_bps),
-                 [this, deliver = std::move(deliver)]() {
-                   sim_.After(config_.base_latency, std::move(deliver));
+                 [this, fault_delay, deliver = std::move(deliver)]() {
+                   sim_.After(config_.base_latency + fault_delay,
+                              std::move(deliver));
                  });
   }
 
+  // Route every message through `faults` (null detaches).
+  void set_fault_injector(fault::FaultInjector* faults) { faults_ = faults; }
+
   const NetworkConfig& config() const { return config_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
 
  private:
   sim::Simulator& sim_;
@@ -50,6 +68,8 @@ class Network {
   sim::FifoResource c2t_;
   sim::FifoResource t2c_;
   uint64_t bytes_sent_ = 0;
+  uint64_t messages_dropped_ = 0;
+  fault::FaultInjector* faults_ = nullptr;  // null = fault-free link
 };
 
 }  // namespace gimbal::fabric

@@ -1,6 +1,9 @@
 #include "fabric/target.h"
 
+#include <algorithm>
 #include <cassert>
+#include <utility>
+#include <vector>
 
 #include "obs/schema.h"
 
@@ -68,6 +71,7 @@ void Target::OnCommandCapsule(int pipeline, IoRequest req) {
   // Target-side latency is measured from capsule arrival to the completion
   // capsule being handed to the NIC (the (b)-(e) window of §2.1).
   req.target_arrival = sim_.now();
+  TouchSession(pipeline, req.tenant);
   // Step (b): submission processing on the pipeline's core.
   CoreOf(p).Acquire(
       config_.submit_cost + config_.added_cost, [this, &p, req]() mutable {
@@ -104,9 +108,67 @@ void Target::OnTrimCapsule(int pipeline, uint64_t offset, uint32_t length) {
 
 void Target::OnDisconnectCapsule(int pipeline, TenantId tenant) {
   Pipeline& p = *pipelines_[pipeline];
+  p.last_seen.erase(tenant);  // graceful exit: nothing left to reap
   CoreOf(p).Acquire(config_.submit_cost, [&p, tenant]() {
     p.policy->OnTenantDisconnect(tenant);
   });
+}
+
+void Target::OnKeepaliveCapsule(int pipeline, TenantId tenant) {
+  TouchSession(pipeline, tenant);
+}
+
+void Target::TouchSession(int pipeline, TenantId tenant) {
+  if (config_.session_timeout <= 0) return;
+  pipelines_[pipeline]->last_seen[tenant] = sim_.now();
+  if (reaper_scheduled_) return;
+  reaper_scheduled_ = true;
+  // Scan at half the timeout so a dead session is reaped at most 1.5x the
+  // timeout after its last capsule.
+  sim_.After(config_.session_timeout / 2, [this]() { ReapStaleSessions(); });
+}
+
+void Target::ReapStaleSessions() {
+  reaper_scheduled_ = false;
+  const Tick now = sim_.now();
+  bool any_tracked = false;
+  for (int pi = 0; pi < static_cast<int>(pipelines_.size()); ++pi) {
+    Pipeline& p = *pipelines_[pi];
+    // Collect-then-reap, sorted: map order is implementation-defined and
+    // the reap order is client-visible (failed completions).
+    std::vector<TenantId> stale;
+    for (const auto& [tenant, seen] : p.last_seen) {
+      if (now - seen >= config_.session_timeout) stale.push_back(tenant);
+    }
+    std::sort(stale.begin(), stale.end());
+    for (TenantId tenant : stale) {
+      p.last_seen.erase(tenant);
+      ++sessions_reaped_;
+      if (obs_) {
+        const obs::Labels l =
+            obs::Labels::TenantSsd(static_cast<int32_t>(tenant), pi);
+        obs_->metrics.GetCounter(obs::schema::kTargetSessionsReaped, l).Add(1);
+        obs_->tracer.Instant(sim_.now(), obs::schema::kEvTenantReap, l);
+      }
+      // Same teardown as a disconnect capsule: queued IOs fail back with
+      // status=aborted, scheduler state is reclaimed once inflight drains.
+      CoreOf(p).Acquire(config_.submit_cost, [&p, tenant]() {
+        p.policy->OnTenantDisconnect(tenant);
+      });
+    }
+    any_tracked |= !p.last_seen.empty();
+  }
+  // Self-terminate once nothing is tracked so the event queue can drain.
+  if (any_tracked) {
+    reaper_scheduled_ = true;
+    sim_.After(config_.session_timeout / 2, [this]() { ReapStaleSessions(); });
+  }
+}
+
+int Target::session_count() const {
+  int n = 0;
+  for (const auto& p : pipelines_) n += static_cast<int>(p->last_seen.size());
+  return n;
 }
 
 void Target::FinishCompletion(Pipeline& p, const IoRequest& req,
@@ -117,7 +179,7 @@ void Target::FinishCompletion(Pipeline& p, const IoRequest& req,
     auto it = p.sinks.find(req.tenant);
     assert(it != p.sinks.end() && "completion for unconnected tenant");
     CompletionSink* sink = it->second;
-    if (req.type == IoType::kRead && cpl.ok) {
+    if (req.type == IoType::kRead && cpl.ok()) {
       // Step (d): stage data out of node memory, RDMA_WRITE it, then the
       // completion capsule follows on the same direction.
       sim_.After(StagingDelay(req.length), [this, req, cpl, sink]() {

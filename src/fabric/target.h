@@ -38,6 +38,13 @@ struct TargetConfig {
   // per byte; adds latency but does not occupy a core. This is what makes
   // large-IO latency diverge between SmartNIC and server (Fig 2).
   double staging_ns_per_byte = 0.35;
+  // Keepalive-based crash detection (docs/FAULTS.md): sessions that send
+  // neither a command nor a keepalive capsule for this long are reaped as
+  // crashed — their queued IOs fail back and their scheduler state is
+  // reclaimed, exactly as on a graceful disconnect. 0 disables tracking
+  // (the default: a reaper timer would keep the event queue alive, so
+  // existing Run()-to-idle experiments stay untouched).
+  Tick session_timeout = 0;
 
   static TargetConfig SmartNicLike() { return TargetConfig{}; }
   static TargetConfig ServerLike() {
@@ -80,6 +87,14 @@ class Target {
   // replaces it) and reaps the tenant once inflight IOs drain.
   void OnDisconnectCapsule(int pipeline, TenantId tenant);
 
+  // NVMe-oF keepalive: refreshes the session's liveness timestamp. Only
+  // meaningful with config.session_timeout > 0.
+  void OnKeepaliveCapsule(int pipeline, TenantId tenant);
+
+  // Sessions currently tracked by the crash reaper (0 when disabled).
+  int session_count() const;
+  uint64_t sessions_reaped() const { return sessions_reaped_; }
+
   // Attach metrics/trace sinks; propagated to every pipeline's policy
   // (existing and future), which forwards to its device-facing components.
   // Pipeline index doubles as the `ssd` label. Pass nullptr to detach.
@@ -100,6 +115,9 @@ class Target {
     std::unique_ptr<core::IoPolicy> policy;
     int core = 0;
     std::unordered_map<TenantId, CompletionSink*> sinks;
+    // Last command/keepalive capsule per tenant; populated only while
+    // session_timeout > 0.
+    std::unordered_map<TenantId, Tick> last_seen;
     // Per-tenant admit counter handles, resolved lazily (see target.cc).
     struct AdmitCounters {
       obs::Counter* ios = nullptr;
@@ -110,6 +128,8 @@ class Target {
 
   sim::FifoResource& CoreOf(const Pipeline& p) { return *cores_[p.core]; }
   void FinishCompletion(Pipeline& p, const IoRequest& req, IoCompletion cpl);
+  void TouchSession(int pipeline, TenantId tenant);
+  void ReapStaleSessions();
   Tick StagingDelay(uint32_t bytes) const {
     return static_cast<Tick>(config_.staging_ns_per_byte *
                              static_cast<double>(bytes));
@@ -121,6 +141,10 @@ class Target {
   std::vector<std::unique_ptr<sim::FifoResource>> cores_;
   std::vector<std::unique_ptr<Pipeline>> pipelines_;
   TargetStats stats_;
+  uint64_t sessions_reaped_ = 0;
+  // The reaper timer self-terminates when no session remains tracked, so
+  // Run()-to-idle experiments still drain the event queue.
+  bool reaper_scheduled_ = false;
   obs::Observability* obs_ = nullptr;  // null = not observed
 };
 

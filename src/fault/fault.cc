@@ -1,0 +1,183 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gimbal::fault {
+
+FaultInjector::FaultInjector(sim::Simulator& sim, int num_ssds, uint64_t seed)
+    : sim_(sim), rng_(seed), ssds_(static_cast<size_t>(num_ssds)) {}
+
+void FaultInjector::AttachObservability(obs::Observability* obs) {
+  obs_ = obs;
+  m_media_errors_ = nullptr;
+  m_device_failed_ = nullptr;
+  m_stalled_ = nullptr;
+  m_link_dropped_ = nullptr;
+  m_link_delayed_ = nullptr;
+  for (int i = 0; i < num_ssds(); ++i) {
+    ssds_[i].machine.AttachObservability(obs, i);
+  }
+  if (!obs_) return;
+  namespace schema = obs::schema;
+  obs::MetricsRegistry& reg = obs_->metrics;
+  m_media_errors_ = &reg.GetCounter(schema::kFaultMediaErrors);
+  m_device_failed_ = &reg.GetCounter(schema::kFaultDeviceFailedIos);
+  m_stalled_ = &reg.GetCounter(schema::kFaultStalledIos);
+  m_link_dropped_ = &reg.GetCounter(schema::kFaultLinkDropped);
+  m_link_delayed_ = &reg.GetCounter(schema::kFaultLinkDelayed);
+}
+
+void FaultInjector::Inject(const char* kind, int ssd, double arg) {
+  if (!obs_) return;
+  obs_->tracer.Instant(sim_.now(), obs::schema::kEvFaultInject,
+                       ssd >= 0 ? obs::Labels::Ssd(ssd) : obs::Labels{},
+                       {{kind, arg}});
+}
+
+bool FaultInjector::Degrading(int ssd, Tick now) const {
+  for (const MediaErrorBurst& o : plan_.media_errors) {
+    if (o.ssd == ssd && InWindow(now, o.start, o.end)) return true;
+  }
+  for (const StallWindow& o : plan_.stalls) {
+    if (o.ssd == ssd && InWindow(now, o.start, o.end)) return true;
+  }
+  return false;
+}
+
+void FaultInjector::SetHealth(int ssd, SsdHealth to) {
+  SsdState& s = ssds_[ssd];
+  if (!s.machine.Set(to, sim_.now())) return;
+  for (auto& fn : s.observers) fn(to);
+}
+
+void FaultInjector::Schedule(const FaultPlan& plan) {
+  plan_ = plan;
+  for (const StallWindow& w : plan_.stalls) {
+    assert(w.ssd >= 0 && w.ssd < num_ssds());
+    sim_.At(w.start, [this, w]() {
+      Inject("stall_ns", w.ssd, static_cast<double>(w.extra_latency));
+      SetHealth(w.ssd, SsdHealth::kDegraded);
+    });
+    sim_.At(w.end, [this, w]() {
+      // Only un-degrade if no other degrading window is still active and
+      // the device has not failed meanwhile (Set validates transitions).
+      if (!Degrading(w.ssd, sim_.now()) &&
+          health(w.ssd) == SsdHealth::kDegraded) {
+        SetHealth(w.ssd, SsdHealth::kHealthy);
+      }
+    });
+  }
+  for (const MediaErrorBurst& b : plan_.media_errors) {
+    assert(b.ssd >= 0 && b.ssd < num_ssds());
+    sim_.At(b.start, [this, b]() {
+      Inject("media_error_p", b.ssd, b.probability);
+      SetHealth(b.ssd, SsdHealth::kDegraded);
+    });
+    sim_.At(b.end, [this, b]() {
+      if (!Degrading(b.ssd, sim_.now()) &&
+          health(b.ssd) == SsdHealth::kDegraded) {
+        SetHealth(b.ssd, SsdHealth::kHealthy);
+      }
+    });
+  }
+  for (const SsdFailure& f : plan_.failures) {
+    assert(f.ssd >= 0 && f.ssd < num_ssds());
+    sim_.At(f.fail_at, [this, f]() {
+      Inject("fail", f.ssd, 1.0);
+      SetHealth(f.ssd, SsdHealth::kFailed);
+    });
+    if (f.recover_at > 0) {
+      assert(f.recover_at > f.fail_at);
+      sim_.At(f.recover_at, [this, f]() {
+        Inject("recover", f.ssd, 1.0);
+        SetHealth(f.ssd, SsdHealth::kRecovering);
+        sim_.After(plan_.recovery_probation, [this, f]() {
+          SetHealth(f.ssd, SsdHealth::kHealthy);
+        });
+      });
+    }
+  }
+  for (const LinkFlap& l : plan_.link_flaps) {
+    sim_.At(l.start, [this, l]() {
+      Inject("link_flap_p", -1, l.drop_probability);
+    });
+  }
+}
+
+void FaultInjector::ScheduleTenantCrash(Tick at, TenantId tenant,
+                                        std::function<void()> crash_fn) {
+  sim_.At(at, [this, tenant, crash_fn = std::move(crash_fn)]() {
+    ++counters_.crashes;
+    if (obs_) {
+      obs_->tracer.Instant(
+          sim_.now(), obs::schema::kEvTenantCrash,
+          obs::Labels::TenantSsd(static_cast<int32_t>(tenant), -1));
+    }
+    crash_fn();
+  });
+}
+
+FaultInjector::IoFault FaultInjector::OnDeviceSubmit(int ssd, IoType /*type*/,
+                                                     Tick now) {
+  IoFault out;
+  SsdState& s = ssds_[ssd];
+  if (s.machine.health() == SsdHealth::kFailed) {
+    out.force_status = IoStatus::kDeviceFailed;
+    out.fault_latency = Microseconds(5);  // fail-fast controller response
+    ++counters_.device_failed_ios;
+    if (m_device_failed_) m_device_failed_->Add(1);
+    return out;
+  }
+  // Transient media errors: use the strongest active burst. The RNG is
+  // drawn only while a burst is active, keeping the stream deterministic.
+  double p = 0;
+  Tick err_latency = 0;
+  for (const MediaErrorBurst& b : plan_.media_errors) {
+    if (b.ssd == ssd && InWindow(now, b.start, b.end) && b.probability > p) {
+      p = b.probability;
+      err_latency = b.error_latency;
+    }
+  }
+  if (p > 0 && rng_.NextDouble() < p) {
+    out.force_status = IoStatus::kMediaError;
+    out.fault_latency = err_latency;
+    ++counters_.media_errors;
+    if (m_media_errors_) m_media_errors_->Add(1);
+    return out;
+  }
+  for (const StallWindow& w : plan_.stalls) {
+    if (w.ssd == ssd && InWindow(now, w.start, w.end)) {
+      out.extra_latency = std::max(out.extra_latency, w.extra_latency);
+    }
+  }
+  if (out.extra_latency > 0) {
+    ++counters_.stalled_ios;
+    if (m_stalled_) m_stalled_->Add(1);
+  }
+  return out;
+}
+
+FaultInjector::LinkFault FaultInjector::OnLinkMessage(Tick now) {
+  LinkFault out;
+  double p = 0;
+  for (const LinkFlap& l : plan_.link_flaps) {
+    if (!InWindow(now, l.start, l.end)) continue;
+    p = std::max(p, l.drop_probability);
+    out.extra_delay = std::max(out.extra_delay, l.extra_delay);
+  }
+  if (p > 0 && rng_.NextDouble() < p) {
+    out.drop = true;
+    out.extra_delay = 0;
+    ++counters_.link_dropped;
+    if (m_link_dropped_) m_link_dropped_->Add(1);
+    return out;
+  }
+  if (out.extra_delay > 0) {
+    ++counters_.link_delayed;
+    if (m_link_delayed_) m_link_delayed_->Add(1);
+  }
+  return out;
+}
+
+}  // namespace gimbal::fault

@@ -1,0 +1,181 @@
+// Seeded, deterministic fault injection for the disaggregated testbed
+// (docs/FAULTS.md).
+//
+// A FaultPlan declares *when* faults happen on the simulated clock; the
+// FaultInjector schedules them on the event queue and answers data-path
+// queries from the components that must observe them:
+//
+//   * FaultyDevice (fault/faulty_device.h) asks OnDeviceSubmit before each
+//     command — transient media errors, latency stalls and the failed
+//     state are decided there,
+//   * Network asks OnLinkMessage per fabric message — link flaps delay or
+//     drop capsules,
+//   * the GimbalSwitch subscribes to per-SSD health transitions so a
+//     failing SSD drains fast and recovery resets the congestion EWMAs,
+//   * tenant crashes run an arbitrary callback (the testbed points it at
+//     Initiator::Crash) at the planned time.
+//
+// Determinism: all probabilistic decisions come from one xoshiro RNG
+// seeded at construction, and random draws happen only inside active fault
+// windows, so the same seed and the same query sequence yield the same
+// fault schedule — replayable bug reports, sweepable properties.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "fault/health.h"
+#include "nvme/types.h"
+#include "obs/obs.h"
+#include "sim/simulator.h"
+
+namespace gimbal::fault {
+
+// (a) Transient per-IO media errors: while active, each command on `ssd`
+// fails with `probability` (status=media_error after `error_latency` — the
+// drive burned its internal retries before giving up).
+struct MediaErrorBurst {
+  int ssd = 0;
+  Tick start = 0;
+  Tick end = 0;
+  double probability = 0.01;
+  Tick error_latency = Microseconds(500);
+};
+
+// (b) SSD latency stall (pathological GC spike): while active, every
+// command on `ssd` completes `extra_latency` later than the device model
+// says. Marks the SSD degraded for the duration.
+struct StallWindow {
+  int ssd = 0;
+  Tick start = 0;
+  Tick end = 0;
+  Tick extra_latency = Milliseconds(2);
+};
+
+// (c) Full SSD failure: at `fail_at` the device goes dark — inflight and
+// new IOs fail with status=device_failed. At `recover_at` (0 = never) it
+// enters recovering and returns to healthy after `FaultPlan::
+// recovery_probation`.
+struct SsdFailure {
+  int ssd = 0;
+  Tick fail_at = 0;
+  Tick recover_at = 0;
+};
+
+// (d) Fabric link flap: while active, every message on the shared link is
+// dropped with `drop_probability`, and survivors are delayed by
+// `extra_delay`. Dropped command/completion capsules surface as initiator
+// timeouts.
+struct LinkFlap {
+  Tick start = 0;
+  Tick end = 0;
+  double drop_probability = 0.0;
+  Tick extra_delay = 0;
+};
+
+struct FaultPlan {
+  std::vector<MediaErrorBurst> media_errors;
+  std::vector<StallWindow> stalls;
+  std::vector<SsdFailure> failures;
+  std::vector<LinkFlap> link_flaps;
+  // recovering -> healthy delay after a failure's recover_at.
+  Tick recovery_probation = Milliseconds(10);
+
+  bool empty() const {
+    return media_errors.empty() && stalls.empty() && failures.empty() &&
+           link_flaps.empty();
+  }
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(sim::Simulator& sim, int num_ssds, uint64_t seed = 1);
+
+  // Schedule every fault in `plan` on the event queue. Call once, before
+  // the experiment runs past the earliest fault time.
+  void Schedule(const FaultPlan& plan);
+
+  // (e) Abrupt tenant crash: runs `crash_fn` (typically Initiator::Crash —
+  // no disconnect capsule; the target's keepalive reaper cleans up) at
+  // `at`, with a fault.inject trace event.
+  void ScheduleTenantCrash(Tick at, TenantId tenant,
+                           std::function<void()> crash_fn);
+
+  // --- Data-path queries -----------------------------------------------------
+
+  // Decision for one device command on `ssd`.
+  struct IoFault {
+    IoStatus force_status = IoStatus::kOk;  // non-ok: do not reach the device
+    Tick fault_latency = 0;   // completion latency when force_status != ok
+    Tick extra_latency = 0;   // stall add-on when force_status == ok
+  };
+  IoFault OnDeviceSubmit(int ssd, IoType type, Tick now);
+
+  // Decision for one fabric message.
+  struct LinkFault {
+    bool drop = false;
+    Tick extra_delay = 0;
+  };
+  LinkFault OnLinkMessage(Tick now);
+
+  // --- Health ----------------------------------------------------------------
+  SsdHealth health(int ssd) const { return ssds_[ssd].machine.health(); }
+  int num_ssds() const { return static_cast<int>(ssds_.size()); }
+
+  // Observe health transitions of `ssd` (the testbed subscribes each
+  // pipeline's policy). Fired after the state changed.
+  void Subscribe(int ssd, std::function<void(SsdHealth)> fn) {
+    ssds_[ssd].observers.push_back(std::move(fn));
+  }
+
+  void AttachObservability(obs::Observability* obs);
+
+  struct FaultCounters {
+    uint64_t media_errors = 0;
+    uint64_t device_failed_ios = 0;
+    uint64_t stalled_ios = 0;
+    uint64_t link_dropped = 0;
+    uint64_t link_delayed = 0;
+    uint64_t crashes = 0;
+  };
+  const FaultCounters& counters() const { return counters_; }
+
+ private:
+  struct SsdState {
+    SsdHealthMachine machine;
+    std::vector<std::function<void(SsdHealth)>> observers;
+  };
+
+  // Window membership is evaluated at query time against the stored plan
+  // (plans are a handful of entries; a linear scan is cheaper than keeping
+  // overlap counts consistent). Scheduled events handle only the health
+  // transitions and trace emission.
+  static bool InWindow(Tick now, Tick start, Tick end) {
+    return now >= start && now < end;
+  }
+
+  // True while any stall/media-error window is active on `ssd`.
+  bool Degrading(int ssd, Tick now) const;
+  void SetHealth(int ssd, SsdHealth to);
+  void Inject(const char* kind, int ssd, double arg);
+
+  sim::Simulator& sim_;
+  Rng rng_;
+  std::vector<SsdState> ssds_;
+  FaultPlan plan_;
+  FaultCounters counters_;
+
+  obs::Observability* obs_ = nullptr;
+
+  // Metric handles (null = not observed).
+  obs::Counter* m_media_errors_ = nullptr;
+  obs::Counter* m_device_failed_ = nullptr;
+  obs::Counter* m_stalled_ = nullptr;
+  obs::Counter* m_link_dropped_ = nullptr;
+  obs::Counter* m_link_delayed_ = nullptr;
+};
+
+}  // namespace gimbal::fault

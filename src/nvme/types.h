@@ -34,6 +34,28 @@ constexpr uint32_t kInlineWriteBytes = 4096;
 enum class IoPriority : uint8_t { kHigh = 0, kNormal = 1, kLow = 2 };
 constexpr int kNumPriorities = 3;
 
+// Terminal status of one IO, modelled on NVMe status codes. Every admitted
+// request reaches exactly one terminal status — the fault subsystem
+// (docs/FAULTS.md) relies on this invariant.
+enum class IoStatus : uint8_t {
+  kOk = 0,           // completed successfully
+  kMediaError,       // unrecoverable media error on the device
+  kTimeout,          // initiator gave up after exhausting its retry budget
+  kAborted,          // failed back on tenant disconnect/crash before service
+  kDeviceFailed,     // the SSD behind the pipeline has failed
+};
+
+constexpr const char* ToString(IoStatus s) {
+  switch (s) {
+    case IoStatus::kOk: return "ok";
+    case IoStatus::kMediaError: return "media_error";
+    case IoStatus::kTimeout: return "timeout";
+    case IoStatus::kAborted: return "aborted";
+    case IoStatus::kDeviceFailed: return "device_failed";
+  }
+  return "?";
+}
+
 // An IO as the switch/scheduler sees it: one NVMe command from one tenant.
 struct IoRequest {
   uint64_t id = 0;                // unique per fabric connection
@@ -52,10 +74,12 @@ struct IoCompletion {
   TenantId tenant = 0;
   IoType type = IoType::kRead;
   uint32_t length = 0;
-  bool ok = true;
+  IoStatus status = IoStatus::kOk;
   Tick device_latency = 0;   // SSD submit -> SSD complete (switch viewpoint)
   Tick target_latency = 0;   // target arrival -> completion sent
   uint32_t credit = 0;       // piggybacked Gimbal credit (§3.6); 0 if unused
+
+  bool ok() const { return status == IoStatus::kOk; }
 };
 
 }  // namespace gimbal

@@ -43,8 +43,57 @@ inline constexpr MetricDef kClientCompletedBytes{
     "fabric/initiator.cc:OnFabricCompletion"};
 inline constexpr MetricDef kPolicyFailed{
     "policy.failed", "ios",
-    "queued commands failed back to the client on tenant disconnect",
-    "core/gimbal_switch.cc:OnTenantDisconnect"};
+    "commands failed back to the client (disconnect, device failure, media "
+    "error)",
+    "core/io_policy.h:Deliver/FailRequest"};
+inline constexpr MetricDef kClientFailed{
+    "client.failed", "ios",
+    "failed completions observed at the client initiator (any non-ok "
+    "status, including exhausted retry budgets)",
+    "fabric/initiator.cc:Finish"};
+inline constexpr MetricDef kInitiatorSubmitted{
+    "initiator.submitted", "ios",
+    "logical IOs accepted by the initiator (retries of one IO are not "
+    "re-counted; submitted == client.completed + client.failed once "
+    "drained)",
+    "fabric/initiator.cc:Submit"};
+inline constexpr MetricDef kInitiatorRetries{
+    "initiator.retries", "ios",
+    "command re-issues after a per-IO timeout (attempt 2 and beyond)",
+    "fabric/initiator.cc:OnIoTimeout"};
+inline constexpr MetricDef kInitiatorTimeouts{
+    "initiator.timeouts", "ios",
+    "IOs failed with status=timeout after exhausting the retry budget",
+    "fabric/initiator.cc:OnIoTimeout"};
+inline constexpr MetricDef kInitiatorLateCompletions{
+    "initiator.late_completions", "ios",
+    "completions for IOs the initiator no longer tracks (timed out, "
+    "retried and completed twice, or crashed)",
+    "fabric/initiator.cc:OnFabricCompletion"};
+inline constexpr MetricDef kTargetSessionsReaped{
+    "fabric.target.sessions_reaped", "tenants",
+    "tenant sessions reaped by the keepalive timeout (crashed clients)",
+    "fabric/target.cc:ReapStaleSessions"};
+inline constexpr MetricDef kFaultMediaErrors{
+    "fault.media_errors", "ios",
+    "IOs failed with an injected media error",
+    "fault/faulty_device.h:Submit"};
+inline constexpr MetricDef kFaultDeviceFailedIos{
+    "fault.device_failed_ios", "ios",
+    "IOs failed because the SSD was in the failed state",
+    "fault/faulty_device.h:Submit"};
+inline constexpr MetricDef kFaultStalledIos{
+    "fault.stalled_ios", "ios",
+    "IOs delayed by an injected latency stall",
+    "fault/faulty_device.h:Submit"};
+inline constexpr MetricDef kFaultLinkDropped{
+    "fault.link.dropped", "messages",
+    "fabric messages dropped by an injected link flap",
+    "fault/fault.cc:OnLinkMessage"};
+inline constexpr MetricDef kFaultLinkDelayed{
+    "fault.link.delayed", "messages",
+    "fabric messages delayed by an injected link flap",
+    "fault/fault.cc:OnLinkMessage"};
 inline constexpr MetricDef kCongestionSignals{
     "gimbal.congestion.signals", "events",
     "completions whose latency monitor reported the congested state",
@@ -129,6 +178,10 @@ inline constexpr MetricDef kCreditLast{
 inline constexpr MetricDef kSsdBufferUsed{
     "ssd.buffer.used_bytes", "bytes", "DRAM write-buffer occupancy",
     "ssd/ssd.cc:AdmitWrite/PumpDie"};
+inline constexpr MetricDef kSsdHealth{
+    "ssd.health", "enum",
+    "SSD health state (0=healthy 1=degraded 2=failed 3=recovering)",
+    "fault/health.h:SsdHealthMachine::Set"};
 
 // ---------------------------------------------------------------------------
 // Histograms (log-bucketed; JSON/CSV report count/min/mean/p50/p95/p99/max)
@@ -157,5 +210,11 @@ inline constexpr const char* kEvWriteCost = "wc.update";
 inline constexpr const char* kEvGcStart = "gc.start";
 inline constexpr const char* kEvGcEnd = "gc.end";
 inline constexpr const char* kEvDisconnect = "tenant.disconnect";
+inline constexpr const char* kEvFaultInject = "fault.inject";
+inline constexpr const char* kEvFaultHealth = "fault.health";
+inline constexpr const char* kEvRetry = "initiator.retry";
+inline constexpr const char* kEvTimeout = "initiator.timeout";
+inline constexpr const char* kEvTenantCrash = "tenant.crash";
+inline constexpr const char* kEvTenantReap = "tenant.reap";
 
 }  // namespace gimbal::obs::schema

@@ -26,9 +26,11 @@ struct DeviceCompletion {
   uint64_t cookie = 0;
   IoType type = IoType::kRead;
   uint32_t length = 0;
+  IoStatus status = IoStatus::kOk;  // non-ok only from fault-injected devices
   Tick submit_time = 0;
   Tick complete_time = 0;
   Tick latency() const { return complete_time - submit_time; }
+  bool ok() const { return status == IoStatus::kOk; }
 };
 
 class BlockDevice {

@@ -59,6 +59,18 @@ void FioWorker::IssueOne() {
 
 void FioWorker::OnDone(const IoCompletion& cpl, Tick e2e) {
   --outstanding_;
+  if (!cpl.ok()) {
+    ++stats_.failed_ios;
+    // A dead connection rejects every resubmission instantly; looping on
+    // it would spin the event queue forever. Transient failures (media
+    // errors, fail-fast drains) keep the closed loop going.
+    if (initiator_.shutdown()) {
+      running_ = false;
+      return;
+    }
+    ScheduleNext();
+    return;
+  }
   if (cpl.type == IoType::kRead) {
     stats_.read_bytes += cpl.length;
     ++stats_.read_ios;

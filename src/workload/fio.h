@@ -35,6 +35,9 @@ struct WorkerStats {
   uint64_t write_bytes = 0;
   uint64_t read_ios = 0;
   uint64_t write_ios = 0;
+  // IOs that terminated with a non-ok status (docs/FAULTS.md); excluded
+  // from the byte totals and latency histograms.
+  uint64_t failed_ios = 0;
   LatencyHistogram read_latency;
   LatencyHistogram write_latency;
 
@@ -55,6 +58,7 @@ class FioWorker {
 
   WorkerStats& stats() { return stats_; }
   const FioSpec& spec() const { return spec_; }
+  fabric::Initiator& initiator() { return initiator_; }
 
  private:
   void IssueOne();

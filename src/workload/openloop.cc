@@ -46,6 +46,10 @@ void OpenLoopWorker::Arrive() {
       type, spec_.region_offset + slot * spec_.io_bytes, spec_.io_bytes,
       spec_.priority, [this](const IoCompletion& cpl, Tick e2e) {
         --outstanding_;
+        if (!cpl.ok()) {
+          ++stats_.failed_ios;
+          return;
+        }
         if (cpl.type == IoType::kRead) {
           stats_.read_bytes += cpl.length;
           ++stats_.read_ios;

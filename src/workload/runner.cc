@@ -28,6 +28,12 @@ Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg) {
   if (cfg_.obs && cfg_.run_label.empty()) cfg_.run_label = ToString(cfg_.scheme);
   if (cfg_.obs) cfg_.obs->metrics.set_run(cfg_.run_label);
   net_ = std::make_unique<fabric::Network>(sim_, cfg_.net);
+  faults_ =
+      std::make_unique<fault::FaultInjector>(sim_, cfg_.num_ssds,
+                                             cfg_.fault_seed);
+  faults_->AttachObservability(cfg_.obs);
+  const bool faulted = !cfg_.faults.empty();
+  if (!cfg_.faults.link_flaps.empty()) net_->set_fault_injector(faults_.get());
   target_ = std::make_unique<fabric::Target>(sim_, *net_, cfg_.target);
   // Attach before AddPipeline so policies resolve handles as they appear.
   target_->AttachObservability(cfg_.obs);
@@ -45,11 +51,24 @@ Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg) {
       ssds_.push_back(dev.get());
       devices_.push_back(std::move(dev));
     }
+    if (faulted) {
+      // Interpose the fault layer between the policy and the device model;
+      // ssd(i) still exposes the inner model for preconditioning/stats.
+      devices_[i] = std::make_unique<fault::FaultyDevice>(
+          sim_, std::move(devices_[i]), *faults_, i);
+    }
     if (cfg_.obs) devices_.back()->AttachObservability(cfg_.obs, i);
     int id = target_->AddPipeline(MakePolicy(*devices_.back()));
     assert(id == i);
     (void)id;
+    // Health transitions reach the pipeline's policy (fail-fast drain on
+    // kFailed, EWMA reset on recovery — core/gimbal_switch.cc).
+    core::IoPolicy* policy = &target_->policy(i);
+    faults_->Subscribe(i, [policy](fault::SsdHealth h) {
+      policy->OnSsdHealthChange(h);
+    });
   }
+  if (faulted) faults_->Schedule(cfg_.faults);
 }
 
 std::unique_ptr<core::IoPolicy> Testbed::MakePolicy(ssd::BlockDevice& dev) {
@@ -82,7 +101,7 @@ fabric::Initiator& Testbed::AddInitiator(
     int ssd_index, std::optional<fabric::ThrottleMode> throttle) {
   initiators_.push_back(std::make_unique<fabric::Initiator>(
       sim_, *net_, *target_, ssd_index, next_tenant_++,
-      throttle.value_or(ThrottleFor(cfg_.scheme)), cfg_.parda));
+      throttle.value_or(ThrottleFor(cfg_.scheme)), cfg_.parda, cfg_.retry));
   initiators_.back()->AttachObservability(cfg_.obs);
   return *initiators_.back();
 }

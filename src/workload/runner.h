@@ -19,6 +19,8 @@
 #include "fabric/initiator.h"
 #include "fabric/network.h"
 #include "fabric/target.h"
+#include "fault/fault.h"
+#include "fault/faulty_device.h"
 #include "obs/obs.h"
 #include "sim/simulator.h"
 #include "ssd/null_device.h"
@@ -51,6 +53,17 @@ struct TestbedConfig {
   baselines::TimesliceParams timeslice = {};
   bool use_null_device = false;  // Table 1b's NULL bdev mode
 
+  // Fault injection (docs/FAULTS.md). A non-empty plan wraps every SSD in
+  // a FaultyDevice, routes fabric messages through the injector when link
+  // flaps are scheduled, and drives each pipeline's policy with its SSD's
+  // health transitions. `retry` configures the initiators' client-side
+  // fault tolerance; `target.session_timeout` the crash reaper. All
+  // default off: a fault-free testbed is event-for-event identical to one
+  // built before this subsystem existed.
+  fault::FaultPlan faults = {};
+  uint64_t fault_seed = 1;
+  fabric::RetryParams retry = {};
+
   // Optional metrics/trace sinks (see docs/OBSERVABILITY.md). When set, the
   // testbed attaches them to the target, every policy and every SSD, and
   // labels everything it emits with `run_label` (defaults to the scheme
@@ -73,6 +86,9 @@ class Testbed {
   core::IoPolicy& policy(int i) { return target_->policy(i); }
   // The Gimbal switch behind pipeline i, or nullptr for other schemes.
   core::GimbalSwitch* gimbal_switch(int i);
+  // The fault injector driving this testbed (always present; inert when
+  // the plan is empty and no crash is scheduled).
+  fault::FaultInjector& faults() { return *faults_; }
   const TestbedConfig& config() const { return cfg_; }
 
   // Create a new tenant attached to SSD `ssd_index`; throttle mode follows
@@ -88,6 +104,9 @@ class Testbed {
   FioWorker& AddWorker(FioSpec spec, int ssd_index = 0);
 
   std::vector<std::unique_ptr<FioWorker>>& workers() { return workers_; }
+  std::vector<std::unique_ptr<fabric::Initiator>>& initiators() {
+    return initiators_;
+  }
 
   // Start every worker, warm up, reset stats, then run the measurement
   // window. Reported stats cover only the measurement window.
@@ -101,6 +120,7 @@ class Testbed {
   TestbedConfig cfg_;
   sim::Simulator sim_;
   std::unique_ptr<fabric::Network> net_;
+  std::unique_ptr<fault::FaultInjector> faults_;
   std::unique_ptr<fabric::Target> target_;
   std::vector<std::unique_ptr<ssd::BlockDevice>> devices_;
   std::vector<ssd::Ssd*> ssds_;

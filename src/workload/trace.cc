@@ -104,6 +104,10 @@ void TraceWorker::ScheduleNext() {
     ++issued_;
     initiator_.Submit(rec.type, rec.offset, rec.length, rec.priority,
                       [this](const IoCompletion& cpl, Tick e2e) {
+                        if (!cpl.ok()) {
+                          ++stats_.failed_ios;
+                          return;
+                        }
                         if (cpl.type == IoType::kRead) {
                           stats_.read_bytes += cpl.length;
                           ++stats_.read_ios;

@@ -20,7 +20,7 @@ TEST(Disconnect, SchedulerFailsQueuedAndReapsState) {
   core::GimbalSwitch sw(sim, dev);
   int ok_completions = 0, failed = 0;
   sw.set_completion_fn([&](const IoRequest&, const IoCompletion& cpl) {
-    (cpl.ok ? ok_completions : failed)++;
+    (cpl.ok() ? ok_completions : failed)++;
   });
   uint64_t id = 0;
   for (int i = 0; i < 200; ++i) {
@@ -87,7 +87,7 @@ TEST(Disconnect, InitiatorShutdownFailsPendingAndStopsSubmits) {
   for (int i = 0; i < 100; ++i) {
     init.Submit(IoType::kRead, 0, 4096, IoPriority::kNormal,
                 [&](const IoCompletion& cpl, Tick) {
-                  (cpl.ok ? ok : failed)++;
+                  (cpl.ok() ? ok : failed)++;
                 });
   }
   // Credit throttle (initial 8) keeps most queued locally.
@@ -100,7 +100,7 @@ TEST(Disconnect, InitiatorShutdownFailsPendingAndStopsSubmits) {
   bool late_failed = false;
   init.Submit(IoType::kRead, 0, 4096, IoPriority::kNormal,
               [&](const IoCompletion& cpl, Tick) {
-                late_failed = !cpl.ok;
+                late_failed = !cpl.ok();
               });
   bed.sim().Run();
   EXPECT_TRUE(late_failed);

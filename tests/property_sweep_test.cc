@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "core/gimbal_switch.h"
+#include "obs/schema.h"
 #include "ssd/ssd.h"
 #include "workload/runner.h"
 
@@ -179,6 +180,102 @@ INSTANTIATE_TEST_SUITE_P(
                       workload::Scheme::kParda, workload::Scheme::kFlashFq,
                       workload::Scheme::kGimbal,
                       workload::Scheme::kTimeslice));
+
+// --------------------------------------------------------------------------
+// Fault sweep: no IO is ever lost. Under every fault plan and seed, each
+// request the initiator admitted reaches exactly one terminal status
+// (completed or failed) once the testbed drains — nothing stuck behind a
+// dead device, lost to a dropped capsule, or leaked by a crashed tenant.
+// --------------------------------------------------------------------------
+
+enum class FaultMix { kMedia, kStall, kFailure, kLinkFlap, kEverything };
+
+class FaultSweep
+    : public ::testing::TestWithParam<std::tuple<FaultMix, uint64_t>> {};
+
+TEST_P(FaultSweep, NoIoLost) {
+  auto [mix, seed] = GetParam();
+  obs::Observability obs;
+  workload::TestbedConfig cfg;
+  cfg.scheme = workload::Scheme::kGimbal;
+  cfg.ssd.logical_bytes = 128ull << 20;
+  cfg.fault_seed = seed;
+  cfg.retry.io_timeout = Milliseconds(2);
+  cfg.retry.keepalive_interval = Milliseconds(1);
+  cfg.target.session_timeout = Milliseconds(5);
+  cfg.obs = &obs;
+  cfg.run_label = "fault_sweep";
+  const bool media = mix == FaultMix::kMedia || mix == FaultMix::kEverything;
+  const bool stall = mix == FaultMix::kStall || mix == FaultMix::kEverything;
+  const bool failure =
+      mix == FaultMix::kFailure || mix == FaultMix::kEverything;
+  const bool flap =
+      mix == FaultMix::kLinkFlap || mix == FaultMix::kEverything;
+  if (media) {
+    cfg.faults.media_errors.push_back(
+        {0, Milliseconds(10), Milliseconds(30), 0.1, Microseconds(200)});
+  }
+  if (stall) {
+    cfg.faults.stalls.push_back(
+        {0, Milliseconds(15), Milliseconds(35), Microseconds(800)});
+  }
+  if (failure) {
+    cfg.faults.failures.push_back({0, Milliseconds(40), Milliseconds(48)});
+  }
+  if (flap) {
+    cfg.faults.link_flaps.push_back(
+        {Milliseconds(20), Milliseconds(28), 0.1, Microseconds(10)});
+  }
+  workload::Testbed bed(cfg);
+  for (int i = 0; i < 3; ++i) {
+    workload::FioSpec spec;
+    spec.io_bytes = 4096u << (i % 2);
+    spec.read_ratio = i == 2 ? 0.5 : 1.0;
+    spec.queue_depth = 8;
+    spec.seed = seed * 31 + static_cast<uint64_t>(i);
+    bed.AddWorker(spec);
+  }
+  // The crash path rides along in the everything mix.
+  if (mix == FaultMix::kEverything) {
+    fabric::Initiator& crasher = bed.workers()[2]->initiator();
+    bed.faults().ScheduleTenantCrash(Milliseconds(25), crasher.tenant(),
+                                     [&crasher]() { crasher.Crash(); });
+  }
+  for (auto& w : bed.workers()) w->Start();
+  bed.sim().RunUntil(Milliseconds(70));
+  for (auto& w : bed.workers()) w->Stop();
+  for (auto& ini : bed.initiators()) {
+    if (!ini->shutdown()) ini->Shutdown();
+  }
+  bed.sim().Run();
+  EXPECT_TRUE(bed.sim().idle());
+
+  for (auto& ini : bed.initiators()) {
+    const obs::Labels l = obs::Labels::TenantSsd(
+        static_cast<int32_t>(ini->tenant()), ini->pipeline());
+    const uint64_t submitted =
+        obs.metrics.GetCounter(obs::schema::kInitiatorSubmitted, l).value();
+    const uint64_t terminal =
+        obs.metrics.GetCounter(obs::schema::kClientCompleted, l).value() +
+        obs.metrics.GetCounter(obs::schema::kClientFailed, l).value();
+    EXPECT_EQ(submitted, terminal)
+        << "tenant " << ini->tenant() << ": leaked or duplicated IOs";
+    EXPECT_GT(submitted, 0u) << "tenant " << ini->tenant() << " never ran";
+  }
+  // Nothing left queued at the switch either.
+  core::GimbalSwitch* sw = bed.gimbal_switch(0);
+  ASSERT_NE(sw, nullptr);
+  EXPECT_EQ(sw->scheduler().queued_total(), 0u);
+  EXPECT_EQ(sw->scheduler().tenant_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PlansAndSeeds, FaultSweep,
+    ::testing::Combine(::testing::Values(FaultMix::kMedia, FaultMix::kStall,
+                                         FaultMix::kFailure,
+                                         FaultMix::kLinkFlap,
+                                         FaultMix::kEverything),
+                       ::testing::Values(1u, 7u, 42u)));
 
 }  // namespace
 }  // namespace gimbal
