@@ -128,13 +128,9 @@ void GimbalSwitch::Pump() {
 }
 
 void GimbalSwitch::SchedulePoke(Tick delay) {
-  if (poke_scheduled_) return;
-  poke_scheduled_ = true;
+  if (poke_timer_.active()) return;
   if (delay < Microseconds(1)) delay = Microseconds(1);
-  sim_.After(delay, [this]() {
-    poke_scheduled_ = false;
-    Pump();
-  });
+  poke_timer_ = sim_.After(delay, [this]() { Pump(); });
 }
 
 void GimbalSwitch::OnDeviceCompletion(const IoRequest& req,

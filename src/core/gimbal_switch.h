@@ -97,7 +97,10 @@ class GimbalSwitch : public PolicyBase {
   // Last health transition observed from the fault layer; stays kHealthy
   // forever when no FaultInjector is wired up.
   fault::SsdHealth health_ = fault::SsdHealth::kHealthy;
-  bool poke_scheduled_ = false;
+  // The armed pacing poke (fires Pump when tokens should have accrued).
+  // One poke at a time: re-arming while active would only move the wakeup
+  // later than the tokens need.
+  sim::TimerHandle poke_timer_;
   Tick last_cost_update_ = 0;
   SwitchStats stats_;
 

@@ -88,18 +88,14 @@ void RateController::AttachObservability(obs::Observability* obs,
 Tick RateController::PacingDelay(IoType type, uint64_t bytes,
                                  double write_cost) const {
   (void)write_cost;
-  double have = bucket_.tokens(type);
-  double need = static_cast<double>(bytes) - have;
-  if (need <= 0) return 0;
   // Optimistic estimate: when the sibling bucket is at capacity its share
   // spills over (Algorithm 4), so tokens can arrive at up to the full
   // target rate. If the spill does not materialize the pump simply pokes
   // again; underestimating the wait costs a few events, overestimating it
   // would throttle the pipeline to the per-bucket share.
-  double rate = target_rate_;
-  if (rate <= 0) return Milliseconds(1);
-  Tick wait = static_cast<Tick>(need * kNsPerSec / rate) + 1;
-  return std::min<Tick>(wait, Milliseconds(10));
+  const Tick eta = bucket_.RefillEta(type, bytes, target_rate_);
+  if (eta == DualTokenBucket::kNever) return Milliseconds(1);
+  return std::min<Tick>(eta, Milliseconds(10));
 }
 
 }  // namespace gimbal::core

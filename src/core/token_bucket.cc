@@ -40,4 +40,14 @@ void DualTokenBucket::DiscardTokens() {
   write_tokens_ = 0;
 }
 
+Tick DualTokenBucket::RefillEta(IoType type, uint64_t bytes,
+                                double fill_rate) const {
+  const double need = static_cast<double>(bytes) - tokens(type);
+  if (need <= 0) return 0;
+  if (fill_rate <= 0) return kNever;
+  // +1 tick: round up so the poke never fires one tick short of the tokens
+  // it waited for.
+  return static_cast<Tick>(need * kNsPerSec / fill_rate) + 1;
+}
+
 }  // namespace gimbal::core

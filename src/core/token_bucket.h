@@ -35,6 +35,13 @@ class DualTokenBucket {
   // Overloaded state: discard accumulated tokens to kill bursts (Alg 1).
   void DiscardTokens();
 
+  // Simulated time until the bucket for `type` could cover `bytes` when
+  // tokens arrive at `fill_rate` bytes/sec. Returns 0 when the bucket
+  // already covers it and kNever when fill_rate is non-positive (the
+  // caller picks a retry policy; the bucket cannot).
+  static constexpr Tick kNever = -1;
+  Tick RefillEta(IoType type, uint64_t bytes, double fill_rate) const;
+
   double tokens(IoType type) const {
     return type == IoType::kRead ? read_tokens_ : write_tokens_;
   }

@@ -17,18 +17,21 @@ Initiator::Initiator(sim::Simulator& sim, Network& net, Target& target,
       tenant_(tenant), mode_(mode), parda_(parda), retry_(retry) {
   target_.Connect(pipeline_, tenant_, this);
   if (retry_.keepalive_interval > 0) {
-    sim_.After(retry_.keepalive_interval, [this]() { KeepaliveTick(); });
+    keepalive_timer_ =
+        sim_.After(retry_.keepalive_interval, [this]() { KeepaliveTick(); });
   }
 }
 
 void Initiator::KeepaliveTick() {
   // The heartbeat dies with the process — that silence is exactly what the
-  // target's session reaper detects after a Crash().
+  // target's session reaper detects after a Crash(). Shutdown/Crash cancel
+  // the armed timer, so this guard only covers a same-tick race.
   if (shutdown_) return;
   net_.Send(Direction::kClientToTarget, kCapsuleBytes, [this]() {
     target_.OnKeepaliveCapsule(pipeline_, tenant_);
   });
-  sim_.After(retry_.keepalive_interval, [this]() { KeepaliveTick(); });
+  keepalive_timer_ =
+      sim_.After(retry_.keepalive_interval, [this]() { KeepaliveTick(); });
 }
 
 bool Initiator::CanIssue() const {
@@ -122,7 +125,10 @@ void Initiator::FailLocally(Pending p, IoStatus status) {
 void Initiator::Shutdown() {
   if (shutdown_) return;
   shutdown_ = true;
-  // Fail everything still queued locally.
+  keepalive_timer_.Cancel();
+  // Issued IOs keep their timeout timers: each either completes normally
+  // or is aborted when its timer fires (no retransmission follows a
+  // disconnect). Fail everything still queued locally.
   std::deque<Pending> pending = std::move(pending_);
   pending_.clear();
   for (auto& p : pending) FailLocally(std::move(p), IoStatus::kAborted);
@@ -137,6 +143,7 @@ void Initiator::Crash() {
   if (shutdown_) return;
   shutdown_ = true;
   crashed_ = true;
+  keepalive_timer_.Cancel();
   if (obs_) {
     obs_->tracer.Instant(
         sim_.now(), obs::schema::kEvTenantCrash,
@@ -158,6 +165,7 @@ void Initiator::Crash() {
     Pending p = std::move(it->second);
     issued_.erase(it);
     --inflight_;
+    p.timer.Cancel();
     FailLocally(std::move(p), IoStatus::kAborted);
   }
 }
@@ -198,8 +206,11 @@ void Initiator::IssueLoop() {
 
 void Initiator::ArmTimeout(uint64_t id, int attempt) {
   if (retry_.io_timeout <= 0) return;
-  sim_.After(retry_.io_timeout,
-             [this, id, attempt]() { OnTimeout(id, attempt); });
+  auto it = issued_.find(id);
+  assert(it != issued_.end());
+  it->second.timer.Cancel();  // no-op unless a stale timer is still armed
+  it->second.timer = sim_.After(
+      retry_.io_timeout, [this, id, attempt]() { OnTimeout(id, attempt); });
 }
 
 void Initiator::OnTimeout(uint64_t id, int attempt) {
@@ -248,7 +259,7 @@ void Initiator::OnTimeout(uint64_t id, int attempt) {
         {{"retry", static_cast<double>(retry_n)},
          {"backoff_ns", static_cast<double>(backoff)}});
   }
-  sim_.After(backoff, [this, id, attempt]() {
+  p.timer = sim_.After(backoff, [this, id, attempt]() {
     auto it2 = issued_.find(id);
     if (it2 == issued_.end() || it2->second.attempts != attempt) return;
     if (shutdown_) {
@@ -280,6 +291,9 @@ void Initiator::OnFabricCompletion(const IoCompletion& cpl) {
   Pending p = std::move(it->second);
   issued_.erase(it);
   --inflight_;
+  // Completion beats the timeout: tear the timer down instead of leaving a
+  // dead event to churn the queue until it fires.
+  p.timer.Cancel();
 
   const Tick e2e = sim_.now() - p.req.client_submit;
   if (cpl.credit > 0) credit_total_ = cpl.credit;  // §3.6 credit update

@@ -111,8 +111,14 @@ class Initiator : public CompletionSink {
     IoRequest req;
     DoneFn done;
     // Transmissions so far (1 = original). Timeout/backoff timers carry
-    // the attempt they were armed for and no-op on mismatch.
+    // the attempt they were armed for and no-op on mismatch (the handle
+    // below makes stale firings rare, not impossible — the guard stays).
     int attempts = 0;
+    // The IO's one armed timer: the timeout while a transmission is
+    // outstanding, the backoff while a retry waits. Cancelled when the IO
+    // reaches a terminal status, so completed IOs leave nothing behind in
+    // the event queue.
+    sim::TimerHandle timer;
   };
 
   bool CanIssue() const;
@@ -134,6 +140,9 @@ class Initiator : public CompletionSink {
 
   std::deque<Pending> pending_;
   std::unordered_map<uint64_t, Pending> issued_;
+  // The armed heartbeat; cancelled by Shutdown()/Crash() so a dead client
+  // stops ticking immediately instead of leaving a timer to fire inert.
+  sim::TimerHandle keepalive_timer_;
   uint64_t next_id_ = 1;
   uint32_t inflight_ = 0;
   uint32_t credit_total_ = 8;  // optimistic initial grant, refined by cpl

@@ -48,11 +48,12 @@ class Network {
     sim::FifoResource& link =
         dir == Direction::kClientToTarget ? c2t_ : t2c_;
     bytes_sent_ += bytes;
-    link.Acquire(TransferTime(bytes, config_.bandwidth_bps),
-                 [this, fault_delay, deliver = std::move(deliver)]() {
-                   sim_.After(config_.base_latency + fault_delay,
-                              std::move(deliver));
-                 });
+    // Serialize on the link, then the base latency elapses off-link; the
+    // deferred form hands `deliver` through unwrapped so the schedule
+    // path stays allocation-free.
+    link.AcquireDeferred(TransferTime(bytes, config_.bandwidth_bps),
+                         config_.base_latency + fault_delay,
+                         std::move(deliver));
   }
 
   // Route every message through `faults` (null detaches).

@@ -121,15 +121,14 @@ void Target::OnKeepaliveCapsule(int pipeline, TenantId tenant) {
 void Target::TouchSession(int pipeline, TenantId tenant) {
   if (config_.session_timeout <= 0) return;
   pipelines_[pipeline]->last_seen[tenant] = sim_.now();
-  if (reaper_scheduled_) return;
-  reaper_scheduled_ = true;
+  if (reaper_timer_.active()) return;
   // Scan at half the timeout so a dead session is reaped at most 1.5x the
   // timeout after its last capsule.
-  sim_.After(config_.session_timeout / 2, [this]() { ReapStaleSessions(); });
+  reaper_timer_ = sim_.After(config_.session_timeout / 2,
+                             [this]() { ReapStaleSessions(); });
 }
 
 void Target::ReapStaleSessions() {
-  reaper_scheduled_ = false;
   const Tick now = sim_.now();
   bool any_tracked = false;
   for (int pi = 0; pi < static_cast<int>(pipelines_.size()); ++pi) {
@@ -160,8 +159,8 @@ void Target::ReapStaleSessions() {
   }
   // Self-terminate once nothing is tracked so the event queue can drain.
   if (any_tracked) {
-    reaper_scheduled_ = true;
-    sim_.After(config_.session_timeout / 2, [this]() { ReapStaleSessions(); });
+    reaper_timer_ = sim_.After(config_.session_timeout / 2,
+                               [this]() { ReapStaleSessions(); });
   }
 }
 

@@ -142,9 +142,9 @@ class Target {
   std::vector<std::unique_ptr<Pipeline>> pipelines_;
   TargetStats stats_;
   uint64_t sessions_reaped_ = 0;
-  // The reaper timer self-terminates when no session remains tracked, so
-  // Run()-to-idle experiments still drain the event queue.
-  bool reaper_scheduled_ = false;
+  // The armed reaper scan; not re-armed when no session remains tracked,
+  // so Run()-to-idle experiments still drain the event queue.
+  sim::TimerHandle reaper_timer_;
   obs::Observability* obs_ = nullptr;  // null = not observed
 };
 

@@ -45,77 +45,96 @@ bool FaultInjector::Degrading(int ssd, Tick now) const {
   return false;
 }
 
-void FaultInjector::SetHealth(int ssd, SsdHealth to) {
+bool FaultInjector::SetHealth(int ssd, SsdHealth to) {
   SsdState& s = ssds_[ssd];
-  if (!s.machine.Set(to, sim_.now())) return;
+  if (!s.machine.Set(to, sim_.now())) return false;
   for (auto& fn : s.observers) fn(to);
+  return true;
 }
 
 void FaultInjector::Schedule(const FaultPlan& plan) {
   plan_ = plan;
   for (const StallWindow& w : plan_.stalls) {
     assert(w.ssd >= 0 && w.ssd < num_ssds());
-    sim_.At(w.start, [this, w]() {
+    scheduled_.push_back(sim_.At(w.start, [this, w]() {
       Inject("stall_ns", w.ssd, static_cast<double>(w.extra_latency));
       SetHealth(w.ssd, SsdHealth::kDegraded);
-    });
-    sim_.At(w.end, [this, w]() {
+    }));
+    scheduled_.push_back(sim_.At(w.end, [this, w]() {
       // Only un-degrade if no other degrading window is still active and
       // the device has not failed meanwhile (Set validates transitions).
       if (!Degrading(w.ssd, sim_.now()) &&
           health(w.ssd) == SsdHealth::kDegraded) {
         SetHealth(w.ssd, SsdHealth::kHealthy);
       }
-    });
+    }));
   }
   for (const MediaErrorBurst& b : plan_.media_errors) {
     assert(b.ssd >= 0 && b.ssd < num_ssds());
-    sim_.At(b.start, [this, b]() {
+    scheduled_.push_back(sim_.At(b.start, [this, b]() {
       Inject("media_error_p", b.ssd, b.probability);
       SetHealth(b.ssd, SsdHealth::kDegraded);
-    });
-    sim_.At(b.end, [this, b]() {
+    }));
+    scheduled_.push_back(sim_.At(b.end, [this, b]() {
       if (!Degrading(b.ssd, sim_.now()) &&
           health(b.ssd) == SsdHealth::kDegraded) {
         SetHealth(b.ssd, SsdHealth::kHealthy);
       }
-    });
+    }));
   }
   for (const SsdFailure& f : plan_.failures) {
     assert(f.ssd >= 0 && f.ssd < num_ssds());
-    sim_.At(f.fail_at, [this, f]() {
+    scheduled_.push_back(sim_.At(f.fail_at, [this, f]() {
       Inject("fail", f.ssd, 1.0);
+      // A failure during probation kills the pending heal; the re-failed
+      // device must wait for its own recovery, not inherit the old one's.
+      ssds_[f.ssd].probation.Cancel();
       SetHealth(f.ssd, SsdHealth::kFailed);
-    });
+    }));
     if (f.recover_at > 0) {
       assert(f.recover_at > f.fail_at);
-      sim_.At(f.recover_at, [this, f]() {
+      scheduled_.push_back(sim_.At(f.recover_at, [this, f]() {
         Inject("recover", f.ssd, 1.0);
-        SetHealth(f.ssd, SsdHealth::kRecovering);
-        sim_.After(plan_.recovery_probation, [this, f]() {
-          SetHealth(f.ssd, SsdHealth::kHealthy);
-        });
-      });
+        if (!SetHealth(f.ssd, SsdHealth::kRecovering)) return;
+        ssds_[f.ssd].probation =
+            sim_.After(plan_.recovery_probation, [this, f]() {
+              SetHealth(f.ssd, SsdHealth::kHealthy);
+            });
+      }));
     }
   }
   for (const LinkFlap& l : plan_.link_flaps) {
-    sim_.At(l.start, [this, l]() {
+    scheduled_.push_back(sim_.At(l.start, [this, l]() {
       Inject("link_flap_p", -1, l.drop_probability);
-    });
+    }));
   }
 }
 
 void FaultInjector::ScheduleTenantCrash(Tick at, TenantId tenant,
                                         std::function<void()> crash_fn) {
-  sim_.At(at, [this, tenant, crash_fn = std::move(crash_fn)]() {
-    ++counters_.crashes;
-    if (obs_) {
-      obs_->tracer.Instant(
-          sim_.now(), obs::schema::kEvTenantCrash,
-          obs::Labels::TenantSsd(static_cast<int32_t>(tenant), -1));
-    }
-    crash_fn();
-  });
+  scheduled_.push_back(
+      sim_.At(at, [this, tenant, crash_fn = std::move(crash_fn)]() {
+        ++counters_.crashes;
+        if (obs_) {
+          obs_->tracer.Instant(
+              sim_.now(), obs::schema::kEvTenantCrash,
+              obs::Labels::TenantSsd(static_cast<int32_t>(tenant), -1));
+        }
+        crash_fn();
+      }));
+}
+
+void FaultInjector::CancelScheduled() {
+  for (sim::TimerHandle& h : scheduled_) h.Cancel();
+  scheduled_.clear();
+  for (SsdState& s : ssds_) s.probation.Cancel();
+}
+
+size_t FaultInjector::pending_scheduled() const {
+  size_t n = 0;
+  for (const sim::TimerHandle& h : scheduled_) n += h.active() ? 1 : 0;
+  for (const SsdState& s : ssds_) n += s.probation.active() ? 1 : 0;
+  return n;
 }
 
 FaultInjector::IoFault FaultInjector::OnDeviceSubmit(int ssd, IoType /*type*/,

@@ -95,8 +95,18 @@ class FaultInjector {
   FaultInjector(sim::Simulator& sim, int num_ssds, uint64_t seed = 1);
 
   // Schedule every fault in `plan` on the event queue. Call once, before
-  // the experiment runs past the earliest fault time.
+  // the experiment runs past the earliest fault time. Every scheduled
+  // window edge holds a TimerHandle, so a plan can be torn down again.
   void Schedule(const FaultPlan& plan);
+
+  // Cancels every still-pending scheduled fault event (window edges,
+  // probation heals). Active windows keep affecting the data path until
+  // their stored end time — this only stops future *transitions* — so call
+  // it when tearing a testbed down, not to end a fault early.
+  void CancelScheduled();
+
+  // Scheduled fault events still pending on the queue (tests).
+  size_t pending_scheduled() const;
 
   // (e) Abrupt tenant crash: runs `crash_fn` (typically Initiator::Crash —
   // no disconnect capsule; the target's keepalive reaper cleans up) at
@@ -147,6 +157,11 @@ class FaultInjector {
   struct SsdState {
     SsdHealthMachine machine;
     std::vector<std::function<void(SsdHealth)>> observers;
+    // The recovering->healthy heal armed by a failure's recover_at;
+    // cancelled if the device fails again during probation (the state
+    // machine would reject the heal anyway — cancelling keeps the event
+    // queue free of dead timers).
+    sim::TimerHandle probation;
   };
 
   // Window membership is evaluated at query time against the stored plan
@@ -159,7 +174,9 @@ class FaultInjector {
 
   // True while any stall/media-error window is active on `ssd`.
   bool Degrading(int ssd, Tick now) const;
-  void SetHealth(int ssd, SsdHealth to);
+  // Attempts the transition; returns true if the state changed (observers
+  // fired).
+  bool SetHealth(int ssd, SsdHealth to);
   void Inject(const char* kind, int ssd, double arg);
 
   sim::Simulator& sim_;
@@ -167,6 +184,9 @@ class FaultInjector {
   std::vector<SsdState> ssds_;
   FaultPlan plan_;
   FaultCounters counters_;
+  // Handles on every scheduled window edge (starts, ends, failures,
+  // recoveries, crashes); fired handles are inert and pruned lazily.
+  std::vector<sim::TimerHandle> scheduled_;
 
   obs::Observability* obs_ = nullptr;
 

@@ -27,6 +27,31 @@ void EventTracer::Push(Tick ts, Tick dur, const char* name, Labels labels,
 
 namespace {
 
+// FNV-1a, 64-bit.
+constexpr uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+inline uint64_t FnvByte(uint64_t h, uint8_t b) {
+  return (h ^ b) * kFnvPrime;
+}
+
+inline uint64_t FnvU64(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) h = FnvByte(h, static_cast<uint8_t>(v >> (8 * i)));
+  return h;
+}
+
+inline uint64_t FnvStr(uint64_t h, const char* s) {
+  for (; *s; ++s) h = FnvByte(h, static_cast<uint8_t>(*s));
+  return FnvByte(h, 0);  // terminator keeps "ab","c" distinct from "a","bc"
+}
+
+inline uint64_t FnvDouble(uint64_t h, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  return FnvU64(h, bits);
+}
+
 void AppendArgs(const EventTracer::Event& e, std::string& out) {
   out += "{";
   for (uint32_t i = 0; i < e.nargs; ++i) {
@@ -37,6 +62,24 @@ void AppendArgs(const EventTracer::Event& e, std::string& out) {
 }
 
 }  // namespace
+
+uint64_t EventTracer::Digest() const {
+  uint64_t h = kFnvOffset;
+  for (const Event& e : events_) {
+    h = FnvU64(h, static_cast<uint64_t>(e.ts));
+    h = FnvU64(h, static_cast<uint64_t>(e.dur));
+    h = FnvStr(h, e.name);
+    h = FnvU64(h, static_cast<uint64_t>(static_cast<uint32_t>(e.labels.tenant)));
+    h = FnvU64(h, static_cast<uint64_t>(static_cast<uint32_t>(e.labels.ssd)));
+    h = FnvU64(h, e.nargs);
+    for (uint32_t i = 0; i < e.nargs; ++i) {
+      h = FnvStr(h, e.args[i].key);
+      h = FnvDouble(h, e.args[i].value);
+    }
+  }
+  h = FnvU64(h, dropped_);
+  return h;
+}
 
 std::string EventTracer::ToChromeJson() const {
   std::string out = "{\"traceEvents\":[";

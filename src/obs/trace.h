@@ -82,6 +82,13 @@ class EventTracer {
     dropped_ = 0;
   }
 
+  // Order-sensitive FNV-1a hash over every recorded event (timestamp,
+  // duration, name, labels, args — values hashed by bit pattern). Two runs
+  // of a deterministic simulation must produce equal digests; the
+  // determinism golden test compares digests across seeds, repeats and
+  // event-queue engines (docs/SIMULATOR.md).
+  uint64_t Digest() const;
+
   std::string ToChromeJson() const;
   std::string ToJsonl() const;
   // Writes ToJsonl() if `path` ends in ".jsonl", else ToChromeJson().

@@ -3,10 +3,16 @@
 // Work items occupy the resource for a duration; queued items run FIFO.
 // This is the building block for the target's reactor cores (Fig 3 / 16 /
 // Table 1) and for the SSD's channels.
+//
+// The occupant's callback is parked in the resource (running_) rather than
+// captured inside the completion closure, so the event scheduled on the
+// simulator captures only `this` and stays within EventFn's inline buffer
+// — nested wrapping of an EventFn in another closure would spill every
+// resource completion to the heap.
 #pragma once
 
 #include <deque>
-#include <functional>
+#include <utility>
 
 #include "common/time.h"
 #include "sim/simulator.h"
@@ -20,7 +26,16 @@ class FifoResource {
   // Occupy the resource for `duration`, then invoke `done` (may be null).
   // If busy, the request queues behind earlier ones.
   void Acquire(Tick duration, EventFn done) {
-    queue_.push_back(Item{duration, std::move(done)});
+    AcquireDeferred(duration, 0, std::move(done));
+  }
+
+  // Occupy the resource for `duration`; `done` then fires `extra` ticks
+  // later without occupying it (a link's propagation delay after
+  // serialization, staging latency after a core step). Equivalent to
+  // wrapping `done` in an After() from the completion callback, minus the
+  // extra closure layer.
+  void AcquireDeferred(Tick duration, Tick extra, EventFn done) {
+    queue_.push_back(Item{duration, extra, std::move(done)});
     busy_accum_ += duration;
     if (!busy_) StartNext();
   }
@@ -34,6 +49,7 @@ class FifoResource {
  private:
   struct Item {
     Tick duration;
+    Tick extra;
     EventFn done;
   };
 
@@ -43,16 +59,24 @@ class FifoResource {
       return;
     }
     busy_ = true;
-    Item item = std::move(queue_.front());
+    running_ = std::move(queue_.front());
     queue_.pop_front();
-    sim_.After(item.duration, [this, done = std::move(item.done)]() {
-      if (done) done();
+    sim_.After(running_.duration, [this]() {
+      Item item = std::move(running_);
+      // Keep the historical event order: the occupant's continuation is
+      // scheduled/run before the next occupant starts.
+      if (item.extra > 0) {
+        sim_.After(item.extra, std::move(item.done));
+      } else if (item.done) {
+        item.done();
+      }
       StartNext();
     });
   }
 
   Simulator& sim_;
   std::deque<Item> queue_;
+  Item running_{};
   bool busy_ = false;
   Tick busy_accum_ = 0;
 };
@@ -93,10 +117,11 @@ class PrioResource {
       return;
     }
     busy_ = true;
-    Item item = std::move(q.front());
+    running_ = std::move(q.front());
     q.pop_front();
-    sim_.After(item.duration, [this, done = std::move(item.done)]() {
-      if (done) done();
+    sim_.After(running_.duration, [this]() {
+      Item item = std::move(running_);
+      if (item.done) item.done();
       StartNext();
     });
   }
@@ -104,6 +129,7 @@ class PrioResource {
   Simulator& sim_;
   std::deque<Item> high_;
   std::deque<Item> low_;
+  Item running_{};
   bool busy_ = false;
   Tick busy_accum_ = 0;
 };

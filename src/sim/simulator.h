@@ -4,6 +4,11 @@
 // simulated times; Run()/RunUntil() drain the event queue in time order.
 // All latencies, bandwidths and timelines reported by the benches are
 // measured in this simulated clock, so results are machine-independent.
+//
+// At()/After() return a TimerHandle: callers that may need to cancel or
+// reschedule the event (per-IO timeouts, keepalives, reapers, pacing
+// pokes) keep it; fire-and-forget callers simply drop it. See
+// docs/SIMULATOR.md for the event-queue design and the ordering contract.
 #pragma once
 
 #include <cassert>
@@ -15,16 +20,23 @@ namespace gimbal::sim {
 
 class Simulator {
  public:
+  // kReferenceHeap swaps in the binary-heap ordering oracle; identical
+  // observable behaviour, used by the determinism A/B tests and bench_sim.
+  explicit Simulator(EventQueue::Impl impl = EventQueue::Impl::kTimingWheel)
+      : queue_(impl) {}
+
   Tick now() const { return now_; }
 
   // Schedule `fn` to run at absolute time `when` (>= now).
-  void At(Tick when, EventFn fn) {
+  TimerHandle At(Tick when, EventFn fn) {
     assert(when >= now_);
-    queue_.Push(when, std::move(fn));
+    return queue_.Push(when, std::move(fn));
   }
 
   // Schedule `fn` to run `delay` ticks from now.
-  void After(Tick delay, EventFn fn) { At(now_ + delay, std::move(fn)); }
+  TimerHandle After(Tick delay, EventFn fn) {
+    return At(now_ + delay, std::move(fn));
+  }
 
   // Run until the event queue is empty.
   void Run() {
@@ -49,7 +61,9 @@ class Simulator {
 
   bool idle() const { return queue_.empty(); }
   uint64_t events_executed() const { return events_executed_; }
+  // Live (not cancelled) events still scheduled.
   size_t pending_events() const { return queue_.size(); }
+  EventQueue& queue() { return queue_; }
 
  private:
   void Step() {

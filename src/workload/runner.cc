@@ -24,7 +24,7 @@ fabric::ThrottleMode ThrottleFor(Scheme s) {
   }
 }
 
-Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg) {
+Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg), sim_(cfg_.queue_impl) {
   if (cfg_.obs && cfg_.run_label.empty()) cfg_.run_label = ToString(cfg_.scheme);
   if (cfg_.obs) cfg_.obs->metrics.set_run(cfg_.run_label);
   net_ = std::make_unique<fabric::Network>(sim_, cfg_.net);

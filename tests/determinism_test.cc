@@ -1,0 +1,155 @@
+// Determinism golden tests (docs/SIMULATOR.md).
+//
+// Runs whole testbeds — a Fig-4-style interference scenario and a faulted
+// scenario exercising stalls, media errors, link flaps, a device failure
+// and a tenant crash — with the event tracer on, and hashes the full event
+// trace (timestamp, event name, tenant, ssd, args) into one digest. For
+// each seed the digest must be
+//
+//   * identical run-to-run (the simulation is deterministic), and
+//   * identical between the timing-wheel event queue and the reference
+//     binary heap (the hot-path overhaul changed no simulated result).
+//
+// Any ordering bug in the timing wheel, any stray RNG draw, or any event
+// scheduled differently between the engines changes the digest.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "obs/obs.h"
+#include "sim/event_queue.h"
+#include "workload/runner.h"
+
+namespace gimbal {
+namespace {
+
+using workload::FioSpec;
+using workload::Scheme;
+using workload::SsdCondition;
+using workload::Testbed;
+using workload::TestbedConfig;
+
+// Large enough that neither scenario ever drops events; a drop would only
+// weaken the digest, but dropped() is hashed too, so check it anyway.
+constexpr size_t kTraceLimit = 4u << 20;
+
+uint64_t InterferenceDigest(sim::EventQueue::Impl impl, uint64_t seed) {
+  obs::Observability obs;
+  obs.tracer.Enable(kTraceLimit);
+  TestbedConfig cfg;
+  cfg.scheme = Scheme::kGimbal;
+  cfg.condition = SsdCondition::kClean;
+  cfg.ssd.logical_bytes = 128ull << 20;
+  cfg.queue_impl = impl;
+  cfg.obs = &obs;
+  cfg.run_label = "determinism";
+  Testbed bed(cfg);
+  // Fig 4's shape, shrunk: a 4KB random-read victim sharing the SSD with a
+  // 128KB write neighbour — exercises the DRR, pacing pokes, write staging
+  // and the credit feedback loop.
+  FioSpec victim;
+  victim.io_bytes = 4096;
+  victim.queue_depth = 32;
+  victim.seed = seed;
+  bed.AddWorker(victim);
+  FioSpec neighbor;
+  neighbor.io_bytes = 131072;
+  neighbor.queue_depth = 8;
+  neighbor.read_ratio = 0.0;
+  neighbor.seed = seed + 1000;
+  bed.AddWorker(neighbor);
+  bed.Run(Milliseconds(10), Milliseconds(30));
+  EXPECT_EQ(obs.tracer.dropped(), 0u);
+  return obs.tracer.Digest();
+}
+
+uint64_t FaultedDigest(sim::EventQueue::Impl impl, uint64_t seed) {
+  obs::Observability obs;
+  obs.tracer.Enable(kTraceLimit);
+  TestbedConfig cfg;
+  cfg.scheme = Scheme::kGimbal;
+  cfg.condition = SsdCondition::kClean;
+  cfg.ssd.logical_bytes = 128ull << 20;
+  cfg.queue_impl = impl;
+  cfg.obs = &obs;
+  cfg.run_label = "determinism_faults";
+  cfg.fault_seed = seed;
+  cfg.retry.io_timeout = Milliseconds(2);
+  cfg.retry.keepalive_interval = Milliseconds(1);
+  cfg.target.session_timeout = Milliseconds(5);
+  cfg.faults.stalls.push_back(
+      {0, Milliseconds(10), Milliseconds(18), Microseconds(500)});
+  cfg.faults.media_errors.push_back(
+      {0, Milliseconds(20), Milliseconds(28), 0.1, Microseconds(200)});
+  cfg.faults.link_flaps.push_back(
+      {Milliseconds(24), Milliseconds(27), 0.05, Microseconds(10)});
+  cfg.faults.failures.push_back({0, Milliseconds(30), Milliseconds(34)});
+  Testbed bed(cfg);
+  for (int i = 0; i < 2; ++i) {
+    FioSpec spec;
+    spec.io_bytes = 4096;
+    spec.queue_depth = 8;
+    spec.seed = seed + 100 * static_cast<uint64_t>(i + 1);
+    bed.AddWorker(spec, 0);
+  }
+  // One tenant crashes mid-run: exercises timeout timers, the keepalive
+  // and the target's session reaper on top of the fault windows.
+  fabric::Initiator& crasher = bed.workers()[0]->initiator();
+  bed.faults().ScheduleTenantCrash(Milliseconds(22), crasher.tenant(),
+                                   [&crasher]() { crasher.Crash(); });
+  for (auto& w : bed.workers()) w->Start();
+  bed.sim().RunUntil(Milliseconds(45));
+  for (auto& w : bed.workers()) w->Stop();
+  for (auto& ini : bed.initiators()) {
+    if (!ini->shutdown()) ini->Shutdown();
+  }
+  bed.sim().Run();
+  EXPECT_EQ(obs.tracer.dropped(), 0u);
+  return obs.tracer.Digest();
+}
+
+class DeterminismGolden : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeterminismGolden, InterferenceTraceDigestIsStable) {
+  const uint64_t seed = GetParam();
+  const uint64_t wheel1 =
+      InterferenceDigest(sim::EventQueue::Impl::kTimingWheel, seed);
+  const uint64_t wheel2 =
+      InterferenceDigest(sim::EventQueue::Impl::kTimingWheel, seed);
+  EXPECT_EQ(wheel1, wheel2) << "timing wheel not deterministic, seed "
+                            << seed;
+  const uint64_t heap =
+      InterferenceDigest(sim::EventQueue::Impl::kReferenceHeap, seed);
+  EXPECT_EQ(wheel1, heap)
+      << "timing wheel and reference heap diverged, seed " << seed;
+}
+
+TEST_P(DeterminismGolden, FaultedTraceDigestIsStable) {
+  const uint64_t seed = GetParam();
+  const uint64_t wheel1 =
+      FaultedDigest(sim::EventQueue::Impl::kTimingWheel, seed);
+  const uint64_t wheel2 =
+      FaultedDigest(sim::EventQueue::Impl::kTimingWheel, seed);
+  EXPECT_EQ(wheel1, wheel2) << "timing wheel not deterministic, seed "
+                            << seed;
+  const uint64_t heap =
+      FaultedDigest(sim::EventQueue::Impl::kReferenceHeap, seed);
+  EXPECT_EQ(wheel1, heap)
+      << "timing wheel and reference heap diverged, seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismGolden,
+                         ::testing::Values(1u, 7u, 42u));
+
+// Digests must also *differ* when the workload differs — a constant hash
+// would pass the equality tests above while checking nothing.
+TEST(DeterminismGolden, DigestDiscriminatesDifferentRuns) {
+  const uint64_t a =
+      InterferenceDigest(sim::EventQueue::Impl::kTimingWheel, 1);
+  const uint64_t b =
+      InterferenceDigest(sim::EventQueue::Impl::kTimingWheel, 2);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace gimbal

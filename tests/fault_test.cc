@@ -293,5 +293,144 @@ TEST(FaultE2eTest, CrashedTenantIsReapedAndLeavesNoState) {
   }
 }
 
+// --------------------------------------------------------------------------
+// Timer lifecycle: the cancellable-timer adoption (docs/SIMULATOR.md).
+// --------------------------------------------------------------------------
+
+// A completion cancels the IO's timeout timer outright. After the workload
+// drains and the initiators shut down (cancelling their keepalives), the
+// event queue is empty *now* — no fired-and-ignored timeout events linger
+// until io_timeout later.
+TEST(TimerLifecycleTest, CompletionCancelsTimeoutTimerLeavingQueueEmpty) {
+  TestbedConfig cfg;
+  cfg.scheme = Scheme::kVanilla;
+  cfg.condition = SsdCondition::kClean;
+  cfg.ssd.logical_bytes = 128ull << 20;
+  cfg.retry.io_timeout = Milliseconds(500);  // far beyond the whole run
+  cfg.retry.keepalive_interval = Milliseconds(1);
+  Testbed bed(cfg);
+  FioSpec spec;
+  spec.io_bytes = 4096;
+  spec.queue_depth = 8;
+  spec.seed = 5;
+  bed.AddWorker(spec, 0);
+  bed.workers()[0]->Start();
+  bed.sim().RunUntil(Milliseconds(10));
+  bed.workers()[0]->Stop();
+  bed.sim().RunUntil(Milliseconds(20));  // drain in-flight IOs
+  for (auto& ini : bed.initiators()) {
+    if (!ini->shutdown()) ini->Shutdown();
+  }
+  bed.sim().RunUntil(Milliseconds(30));  // flush the disconnect capsule
+  EXPECT_GT(bed.workers()[0]->stats().total_bytes(), 0u);
+  // No IO timed out...
+  EXPECT_EQ(bed.workers()[0]->initiator().timeouts(), 0u);
+  // ...and no timer is still parked: every armed timeout was cancelled by
+  // its completion, the keepalive by Shutdown.
+  EXPECT_EQ(bed.sim().pending_events(), 0u);
+}
+
+// A stall longer than io_timeout makes IOs time out and *then* complete at
+// the device. The late completion must not double-count: every submitted
+// IO reaches exactly one terminal status.
+TEST(TimerLifecycleTest, LateCompletionAfterFiredTimeoutCountsOnce) {
+  obs::Observability obs;
+  TestbedConfig cfg;
+  cfg.scheme = Scheme::kVanilla;
+  cfg.condition = SsdCondition::kClean;
+  cfg.ssd.logical_bytes = 128ull << 20;
+  cfg.retry.io_timeout = Milliseconds(1);
+  // No retry budget: the first fired timeout is terminal, so the stalled
+  // device's eventual completion can only arrive as a late completion.
+  cfg.retry.max_retries = 0;
+  cfg.retry.keepalive_interval = Milliseconds(1);
+  cfg.obs = &obs;
+  cfg.run_label = "late_completion";
+  // Every IO in the window takes ~4ms extra — 4x the timeout.
+  cfg.faults.stalls.push_back(
+      {0, Milliseconds(5), Milliseconds(15), Milliseconds(4)});
+  Testbed bed(cfg);
+  FioSpec spec;
+  spec.io_bytes = 4096;
+  spec.queue_depth = 4;
+  spec.seed = 6;
+  bed.AddWorker(spec, 0);
+  bed.workers()[0]->Start();
+  bed.sim().RunUntil(Milliseconds(30));
+  bed.workers()[0]->Stop();
+  for (auto& ini : bed.initiators()) {
+    if (!ini->shutdown()) ini->Shutdown();
+  }
+  bed.sim().Run();
+
+  fabric::Initiator& ini = bed.workers()[0]->initiator();
+  EXPECT_GT(ini.timeouts(), 0u);
+  EXPECT_GT(ini.late_completions(), 0u);
+  const obs::Labels l = obs::Labels::TenantSsd(
+      static_cast<int32_t>(ini.tenant()), ini.pipeline());
+  const uint64_t submitted =
+      obs.metrics.GetCounter(obs::schema::kInitiatorSubmitted, l).value();
+  const uint64_t terminal =
+      obs.metrics.GetCounter(obs::schema::kClientCompleted, l).value() +
+      obs.metrics.GetCounter(obs::schema::kClientFailed, l).value();
+  EXPECT_EQ(submitted, terminal);
+  EXPECT_GT(submitted, 0u);
+}
+
+// Crash() cancels the keepalive timer for good: once the reaper collects
+// the dead session, no stray keepalive re-registers it, across many
+// keepalive intervals.
+TEST(TimerLifecycleTest, CrashedTenantKeepaliveDoesNotResurrectSession) {
+  TestbedConfig cfg;
+  cfg.scheme = Scheme::kGimbal;
+  cfg.condition = SsdCondition::kClean;
+  cfg.ssd.logical_bytes = 128ull << 20;
+  cfg.retry.io_timeout = Milliseconds(2);
+  cfg.retry.keepalive_interval = Milliseconds(1);
+  cfg.target.session_timeout = Milliseconds(5);
+  Testbed bed(cfg);
+  FioSpec spec;
+  spec.io_bytes = 4096;
+  spec.queue_depth = 8;
+  spec.seed = 7;
+  bed.AddWorker(spec, 0);
+  fabric::Initiator& crasher = bed.workers()[0]->initiator();
+  bed.faults().ScheduleTenantCrash(Milliseconds(10), crasher.tenant(),
+                                   [&crasher]() { crasher.Crash(); });
+  bed.workers()[0]->Start();
+  // Past crash + 1.5x session_timeout: the reap has happened.
+  bed.sim().RunUntil(Milliseconds(20));
+  EXPECT_TRUE(crasher.crashed());
+  EXPECT_EQ(bed.target().sessions_reaped(), 1u);
+  EXPECT_EQ(bed.target().session_count(), 0u);
+  // 30 more keepalive intervals: a surviving keepalive timer would have
+  // re-touched the session by now.
+  bed.sim().RunUntil(Milliseconds(50));
+  EXPECT_EQ(bed.target().sessions_reaped(), 1u);
+  EXPECT_EQ(bed.target().session_count(), 0u);
+  bed.workers()[0]->Stop();
+  bed.sim().Run();
+}
+
+// Tearing down a fault plan cancels every scheduled window edge; the
+// injector reports none pending and the events never fire.
+TEST(TimerLifecycleTest, CancelScheduledTearsDownFaultPlan) {
+  sim::Simulator sim;
+  FaultInjector inj(sim, 1);
+  FaultPlan plan;
+  plan.stalls.push_back(
+      {0, Milliseconds(10), Milliseconds(20), Microseconds(500)});
+  plan.failures.push_back({0, Milliseconds(30), Milliseconds(40)});
+  inj.Schedule(plan);
+  EXPECT_GT(inj.pending_scheduled(), 0u);
+  EXPECT_EQ(inj.pending_scheduled(), sim.pending_events());
+  inj.CancelScheduled();
+  EXPECT_EQ(inj.pending_scheduled(), 0u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.Run();
+  // No transition ever fired.
+  EXPECT_EQ(inj.health(0), SsdHealth::kHealthy);
+}
+
 }  // namespace
 }  // namespace gimbal
