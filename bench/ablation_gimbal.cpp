@@ -33,7 +33,12 @@ MixResult RunMix(core::GimbalParams params, SsdCondition cond,
   for (int i = 0; i < 8; ++i) {
     bed.AddWorker(PaperSpec(io_bytes, true, static_cast<uint64_t>(i) + 101));
   }
-  bed.Run(Milliseconds(400), Seconds(1));
+  // Quick (golden) config: shorter windows, full variant matrix.
+  if (Quick()) {
+    bed.Run(Milliseconds(100), Milliseconds(250));
+  } else {
+    bed.Run(Milliseconds(400), Seconds(1));
+  }
   uint64_t rd = 0, wr = 0;
   for (size_t i = 0; i < 8; ++i) rd += bed.workers()[i]->stats().total_bytes();
   for (size_t i = 8; i < 16; ++i) wr += bed.workers()[i]->stats().total_bytes();

@@ -27,7 +27,7 @@ Row Run(Scheme scheme, Tick quantum) {
     FioSpec spec;
     spec.io_bytes = 4096;
     spec.queue_depth = 16;
-    spec.seed = static_cast<uint64_t>(i) + 1;
+    spec.seed = static_cast<uint64_t>(i) + 1 + g_seed;
     bed.AddWorker(spec);
   }
   bed.Run(Milliseconds(300), Milliseconds(600));

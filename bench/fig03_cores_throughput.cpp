@@ -26,7 +26,7 @@ double Kiops(fabric::TargetConfig target, int cores, bool is_write) {
       spec.read_ratio = is_write ? 0.0 : 1.0;
       spec.sequential = is_write;
       spec.queue_depth = 96;
-      spec.seed = static_cast<uint64_t>(s * 2 + i + 1);
+      spec.seed = static_cast<uint64_t>(s * 2 + i + 1) + g_seed;
       bed.AddWorker(spec, s);
     }
   }

@@ -43,15 +43,21 @@ int main(int argc, char** argv) {
     FioSpec victim;
     victim.io_bytes = 4096;
     victim.queue_depth = 32;
-    victim.seed = 1;
+    victim.seed = 1 + g_seed;
     FioWorker& wv = bed.AddWorker(victim);
     FioSpec nb;
     nb.io_bytes = n.io_bytes;
     nb.queue_depth = n.qd;
     nb.read_ratio = n.write ? 0.0 : 1.0;
-    nb.seed = 2;
+    nb.seed = 2 + g_seed;
     FioWorker& wn = bed.AddWorker(nb);
-    bed.Run(Milliseconds(200), Milliseconds(500));
+    // Quick (golden) config: shorter windows, same matrix — the dominance
+    // ordering survives, exact bandwidths do not.
+    if (Quick()) {
+      bed.Run(Milliseconds(50), Milliseconds(100));
+    } else {
+      bed.Run(Milliseconds(200), Milliseconds(500));
+    }
     double v = WorkerMBps(wv, bed.measured());
     double w = WorkerMBps(wn, bed.measured());
     t.Row({n.label, Table::Num(v), Table::Num(w), Table::Num(w / v, 2)});

@@ -47,12 +47,17 @@ int main(int argc, char** argv) {
     for (Scheme s : workload::kAllSchemes) {
       TestbedConfig cfg = MicroConfig(s, c.cond);
       Testbed bed(cfg);
-      for (int i = 0; i < 16; ++i) {
+      const int workers = Quick() ? 8 : 16;
+      for (int i = 0; i < workers; ++i) {
         FioSpec spec = PaperSpec(c.io_bytes, c.write,
                                  static_cast<uint64_t>(i) + 1);
         bed.AddWorker(spec);
       }
-      bed.Run(Milliseconds(400), Seconds(1));
+      if (Quick()) {
+        bed.Run(Milliseconds(100), Milliseconds(200));
+      } else {
+        bed.Run(Milliseconds(400), Seconds(1));
+      }
       bw_row.push_back(Table::Num(AggregateMBps(bed)));
       LatencyHistogram h = MergedLatency(
           bed, c.write ? IoType::kWrite : IoType::kRead);

@@ -32,21 +32,28 @@ void RunMix(const char* title, const char* key, SsdCondition cond, Group a,
     TestbedConfig cfg = MicroConfig(s, cond);
     // Distinct metric series per (scheme, mix); e.g. run="gimbal:sizes".
     cfg.run_label = std::string(ToString(s)) + ":" + key;
-    // Standalone maxima for the f-Util denominators.
-    double sa = workload::StandaloneBandwidth(cfg, a.spec);
-    double sb = workload::StandaloneBandwidth(cfg, b.spec);
+    // Standalone maxima for the f-Util denominators. Quick (golden) runs
+    // shrink every window; the f-Util ordering across schemes survives.
+    const Tick sa_warm = Quick() ? Milliseconds(100) : Milliseconds(300);
+    const Tick sa_meas = Quick() ? Milliseconds(150) : Milliseconds(500);
+    double sa = workload::StandaloneBandwidth(cfg, a.spec, sa_warm, sa_meas);
+    double sb = workload::StandaloneBandwidth(cfg, b.spec, sa_warm, sa_meas);
     Testbed bed(cfg);
     for (int i = 0; i < a.workers; ++i) {
       FioSpec spec = a.spec;
-      spec.seed = static_cast<uint64_t>(i) + 1;
+      spec.seed = static_cast<uint64_t>(i) + 1 + g_seed;
       bed.AddWorker(spec);
     }
     for (int i = 0; i < b.workers; ++i) {
       FioSpec spec = b.spec;
-      spec.seed = static_cast<uint64_t>(i) + 101;
+      spec.seed = static_cast<uint64_t>(i) + 101 + g_seed;
       bed.AddWorker(spec);
     }
-    bed.Run(Milliseconds(400), Seconds(1));
+    if (Quick()) {
+      bed.Run(Milliseconds(100), Milliseconds(250));
+    } else {
+      bed.Run(Milliseconds(400), Seconds(1));
+    }
     const int total = a.workers + b.workers;
     uint64_t bytes_a = 0, bytes_b = 0, ios_a = 0, ios_b = 0;
     for (int i = 0; i < a.workers; ++i) {

@@ -17,7 +17,8 @@ using kv::YcsbClient;
 namespace {
 
 constexpr int kSsds = 6;
-constexpr uint64_t kRecords = 20'000;
+// Quick (golden) runs shrink the per-instance dataset with the matrix.
+inline uint64_t Records() { return Quick() ? 5'000 : 20'000; }
 
 struct Point {
   double kiops;
@@ -32,6 +33,7 @@ Point RunOne(workload::YcsbWorkload wl, int instances) {
   cfg.testbed.condition = SsdCondition::kFragmented;
   cfg.testbed.ssd.logical_bytes = 256ull << 20;
   cfg.testbed.obs = CurrentObs();
+  cfg.testbed.queue_impl = g_queue;
   cfg.testbed.run_label =
       std::string(workload::ToString(wl)) + ":" + std::to_string(instances);
   cfg.hba.backend_bytes = 256ull << 20;
@@ -40,21 +42,21 @@ Point RunOne(workload::YcsbWorkload wl, int instances) {
   std::vector<std::unique_ptr<YcsbClient>> clients;
   for (int i = 0; i < instances; ++i) {
     auto& inst = cluster.AddInstance();
-    inst.db->BulkLoad(kRecords, 1024);
+    inst.db->BulkLoad(Records(), 1024);
     workload::YcsbSpec spec;
     spec.workload = wl;
-    spec.record_count = kRecords;
-    spec.seed = static_cast<uint64_t>(i) + 1;
+    spec.record_count = Records();
+    spec.seed = static_cast<uint64_t>(i) + 1 + g_seed;
     clients.push_back(
         std::make_unique<YcsbClient>(cluster.sim(), *inst.db, spec, 24));
   }
   for (auto& c : clients) c->Start();
-  cluster.sim().RunUntil(Milliseconds(250));
+  cluster.sim().RunUntil(Quick() ? Milliseconds(100) : Milliseconds(250));
   for (auto& c : clients) c->stats().Reset();
   if (auto* obs = CurrentObs()) {
     obs->metrics.ResetRun(cfg.testbed.run_label);
   }
-  const Tick measure = Milliseconds(500);
+  const Tick measure = Quick() ? Milliseconds(250) : Milliseconds(500);
   cluster.sim().RunUntil(cluster.sim().now() + measure);
   uint64_t ops = 0;
   LatencyHistogram reads;
@@ -76,18 +78,26 @@ int main(int argc, char** argv) {
       "A/B/D saturate ~20 instances, F ~16 (read latency rises steeply "
       "beyond), C scales with flat latency");
 
-  const workload::YcsbWorkload workloads[] = {
+  // Quick (golden) config: the {A,C} x {4,8} corner of the matrix — enough
+  // to pin the write-limited vs read-only scaling contrast.
+  std::vector<workload::YcsbWorkload> workloads = {
       workload::YcsbWorkload::kA, workload::YcsbWorkload::kB,
       workload::YcsbWorkload::kC, workload::YcsbWorkload::kD,
       workload::YcsbWorkload::kF};
+  std::vector<int> sizes = {4, 8, 12, 16, 20, 24};
+  std::vector<std::string> cols = {"instances", "YCSB-A", "YCSB-B", "YCSB-C",
+                                   "YCSB-D", "YCSB-F"};
+  if (Quick()) {
+    workloads = {workload::YcsbWorkload::kA, workload::YcsbWorkload::kC};
+    sizes = {4, 8};
+    cols = {"instances", "YCSB-A", "YCSB-C"};
+  }
 
   Table thpt("Fig 11: Throughput (KIOPS) vs instances");
-  thpt.Columns({"instances", "YCSB-A", "YCSB-B", "YCSB-C", "YCSB-D",
-                "YCSB-F"});
+  thpt.Columns(cols);
   Table lat("Fig 12: Average read latency (us) vs instances");
-  lat.Columns({"instances", "YCSB-A", "YCSB-B", "YCSB-C", "YCSB-D",
-               "YCSB-F"});
-  for (int n : {4, 8, 12, 16, 20, 24}) {
+  lat.Columns(cols);
+  for (int n : sizes) {
     std::vector<std::string> r1{std::to_string(n)}, r2{std::to_string(n)};
     for (auto wl : workloads) {
       Point p = RunOne(wl, n);

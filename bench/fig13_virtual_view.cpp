@@ -47,7 +47,7 @@ double P999ReadUs(workload::YcsbWorkload wl, bool flow_control,
     workload::YcsbSpec spec;
     spec.workload = wl;
     spec.record_count = kRecords;
-    spec.seed = static_cast<uint64_t>(i) + 1;
+    spec.seed = static_cast<uint64_t>(i) + 1 + g_seed;
     clients.push_back(
         std::make_unique<YcsbClient>(cluster.sim(), *inst.db, spec, 32));
   }

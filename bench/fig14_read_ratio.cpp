@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
         spec.io_bytes = 4096;
         spec.queue_depth = 32;
         spec.read_ratio = pct / 100.0;
-        spec.seed = static_cast<uint64_t>(i) + 1;
+        spec.seed = static_cast<uint64_t>(i) + 1 + g_seed;
         bed.AddWorker(spec);
       }
       // The clean condition is inherently transient under random writes

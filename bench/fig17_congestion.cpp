@@ -27,8 +27,11 @@ void Timeline(Scheme scheme) {
     bed.AddWorker(big);
   }
   auto& sim = bed.sim();
+  // Quick (golden) config: compress the wave timeline 4x — the latency
+  // divergence between vanilla and Gimbal still shows.
+  const double ph = Quick() ? 0.25 : 1.0;
   for (int wave = 0; wave < kWaves; ++wave) {
-    sim.At(Seconds(1.0 * wave) + 1, [&bed, wave]() {
+    sim.At(Seconds(ph * wave) + 1, [&bed, wave]() {
       bed.workers()[static_cast<size_t>(2 * wave)]->Start();
       bed.workers()[static_cast<size_t>(2 * wave + 1)]->Start();
     });
@@ -39,12 +42,12 @@ void Timeline(Scheme scheme) {
              "lat128k_us"});
   std::vector<uint64_t> last_bytes(bed.workers().size(), 0);
   std::vector<LatencyHistogram> last_hist;  // unused; windows via deltas
-  Tick step = Milliseconds(500);
+  Tick step = Quick() ? Milliseconds(125) : Milliseconds(500);
   uint64_t last4k_ios = 0, last4k_sum = 0;
   (void)last4k_ios;
   (void)last4k_sum;
   LatencyHistogram prev4k, prev128k;
-  for (Tick now = 0; now < Seconds(4.5); now += step) {
+  for (Tick now = 0; now < static_cast<Tick>(ph * Seconds(4.5)); now += step) {
     sim.RunUntil(now + step);
     uint64_t delta = 0;
     int active = 0;

@@ -30,10 +30,10 @@ int main(int argc, char** argv) {
       s1.read_ratio = is_write ? 0.0 : 1.0;
       s1.sequential = is_write;
       s1.queue_depth = qd2 * 2;
-      s1.seed = 1;
+      s1.seed = 1 + g_seed;
       FioSpec s2 = s1;
       s2.queue_depth = qd2;
-      s2.seed = 2;
+      s2.seed = 2 + g_seed;
       FioWorker& w1 = bed.AddWorker(s1);
       FioWorker& w2 = bed.AddWorker(s2);
       bed.Run(Milliseconds(200), Milliseconds(500));

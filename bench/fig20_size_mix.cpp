@@ -30,11 +30,11 @@ int main(int argc, char** argv) {
       s1.read_ratio = wr ? 0.0 : 1.0;
       s1.sequential = !rnd;
       s1.queue_depth = 32;
-      s1.seed = 1;
+      s1.seed = 1 + g_seed;
       FioSpec s2 = s1;
       s2.io_bytes = kb * 1024;
       s2.queue_depth = 32;
-      s2.seed = 2;
+      s2.seed = 2 + g_seed;
       FioWorker& w1 = bed.AddWorker(s1);
       bed.AddWorker(s2);
       bed.Run(Milliseconds(200), Milliseconds(500));

@@ -17,12 +17,12 @@ double ReadMBps(uint32_t io_bytes, bool sequential, bool with_writer) {
   rd.io_bytes = io_bytes;
   rd.sequential = sequential;
   rd.queue_depth = io_bytes >= 131072 ? 8 : 32;
-  rd.seed = 1;
+  rd.seed = 1 + g_seed;
   FioWorker& w = bed.AddWorker(rd);
   if (with_writer) {
     FioSpec wr = rd;
     wr.read_ratio = 0.0;
-    wr.seed = 2;
+    wr.seed = 2 + g_seed;
     bed.AddWorker(wr);
   }
   bed.Run(Milliseconds(200), Milliseconds(500));

@@ -29,7 +29,7 @@ Result VictimLatency(bool victim_write, uint32_t bg_kb, bool bg_sequential,
   victim.read_ratio = victim_write ? 0.0 : 1.0;
   victim.sequential = victim_write;
   victim.queue_depth = 8;
-  victim.seed = 1;
+  victim.seed = 1 + g_seed;
   FioWorker& w = bed.AddWorker(victim);
   if (bg_kb > 0) {
     FioSpec bg;
@@ -37,7 +37,7 @@ Result VictimLatency(bool victim_write, uint32_t bg_kb, bool bg_sequential,
     bg.read_ratio = bg_write ? 0.0 : 1.0;
     bg.sequential = bg_sequential;
     bg.queue_depth = 16;
-    bg.seed = 2;
+    bg.seed = 2 + g_seed;
     bed.AddWorker(bg);
   }
   bed.Run(Milliseconds(200), Milliseconds(600));

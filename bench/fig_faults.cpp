@@ -65,7 +65,11 @@ FaultKnobs ParseFaultFlags(int* argc, char** argv) {
   return k;
 }
 
-constexpr Tick kWindow = Milliseconds(500);
+// Quick (golden) config halves the measurement window and every fault
+// window with it; the isolation and balance self-checks still hold.
+inline Tick Window() { return Quick() ? Milliseconds(250) : Milliseconds(500); }
+inline Tick Scaled(Tick t) { return Quick() ? t / 2 : t; }
+
 constexpr int kTenants = 4;
 const char* kNames[kTenants] = {"A (ssd0)", "B (ssd0)", "C (ssd1)",
                                 "D (ssd1, crash)"};
@@ -101,33 +105,34 @@ RunResult RunScenario(obs::Observability& obs, bool faulted,
   cfg.target.session_timeout = Milliseconds(5);
   if (faulted) {
     cfg.faults.stalls.push_back(
-        {1, Milliseconds(100), Milliseconds(150),
+        {1, Scaled(Milliseconds(100)), Scaled(Milliseconds(150)),
          static_cast<Tick>(k.stall_ms * 1e6)});
     cfg.faults.media_errors.push_back(
-        {1, Milliseconds(180), Milliseconds(230), k.media_p,
+        {1, Scaled(Milliseconds(180)), Scaled(Milliseconds(230)), k.media_p,
          Microseconds(500)});
     if (k.link_drop > 0) {
       cfg.faults.link_flaps.push_back(
-          {Milliseconds(190), Milliseconds(210), k.link_drop,
+          {Scaled(Milliseconds(190)), Scaled(Milliseconds(210)), k.link_drop,
            Microseconds(20)});
     }
-    cfg.faults.failures.push_back({1, Milliseconds(300), Milliseconds(350)});
+    cfg.faults.failures.push_back(
+        {1, Scaled(Milliseconds(300)), Scaled(Milliseconds(350))});
   }
   Testbed bed(cfg);
   for (int i = 0; i < kTenants; ++i) {
     FioSpec spec;
     spec.io_bytes = 4096;
     spec.queue_depth = 16;
-    spec.seed = 10 + static_cast<uint64_t>(i);
+    spec.seed = 10 + static_cast<uint64_t>(i) + g_seed;
     bed.AddWorker(spec, i < 2 ? 0 : 1);
   }
   if (faulted) {
     fabric::Initiator& d = bed.workers()[3]->initiator();
-    bed.faults().ScheduleTenantCrash(Milliseconds(250), d.tenant(),
+    bed.faults().ScheduleTenantCrash(Scaled(Milliseconds(250)), d.tenant(),
                                      [&d]() { d.Crash(); });
   }
   for (auto& w : bed.workers()) w->Start();
-  bed.sim().RunUntil(kWindow);
+  bed.sim().RunUntil(Window());
   for (auto& w : bed.workers()) w->Stop();
   // Quiesce: graceful disconnects stop the keepalives, the session reaper
   // self-terminates, and every outstanding IO reaches a terminal status.
@@ -141,7 +146,7 @@ RunResult RunScenario(obs::Observability& obs, bool faulted,
     FioWorker& w = *bed.workers()[i];
     fabric::Initiator& ini = w.initiator();
     TenantResult& t = r.tenant[i];
-    t.mbps = BytesToMiB(w.stats().total_bytes()) / ToSec(kWindow);
+    t.mbps = BytesToMiB(w.stats().total_bytes()) / ToSec(Window());
     t.failed = w.stats().failed_ios;
     t.retries = ini.retries();
     t.timeouts = ini.timeouts();

@@ -27,12 +27,12 @@ void RunCondition(const char* label, SsdCondition cond, uint32_t io_bytes) {
   Testbed bed(cfg);
   for (int i = 0; i < 16; ++i) {
     FioSpec s = rd;
-    s.seed = static_cast<uint64_t>(i) + 1;
+    s.seed = static_cast<uint64_t>(i) + 1 + g_seed;
     bed.AddWorker(s);
   }
   for (int i = 0; i < 16; ++i) {
     FioSpec s = wr;
-    s.seed = static_cast<uint64_t>(i) + 101;
+    s.seed = static_cast<uint64_t>(i) + 101 + g_seed;
     bed.AddWorker(s);
   }
   bed.Run(Milliseconds(400), Seconds(1));

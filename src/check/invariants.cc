@@ -1,0 +1,474 @@
+#include "check/invariants.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gimbal::check {
+namespace {
+
+// Sentinel for violations not tied to a tenant (bucket, latency, health);
+// renders as tenant=-1, matching the obs::Labels convention.
+constexpr TenantId kNoTenant = static_cast<TenantId>(-1);
+
+// Tolerances for double-precision token accounting. Buckets hold at most a
+// few hundred MB of tokens, so absolute slack of a few bytes dwarfs any
+// rounding the arithmetic can accumulate in one step while staying far
+// below the smallest real overrun (an IO is >= 512 bytes).
+constexpr double kTokenEps = 1.0;
+
+// Worst-case rounds of quantum lead one continuously backlogged tenant can
+// legitimately build over another. DRR's per-round skew is O(quantum +
+// max_weighted); slot deferral and priority WRR add small constant factors,
+// so 16 rounds is a generous envelope that still catches a linearly
+// diverging scheduler within a few tens of milliseconds of simulated time.
+constexpr double kSkewRounds = 16.0;
+
+std::string Format(const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  return std::string(buf);
+}
+
+// Independent copy of the health legality table (docs/FAULTS.md). Kept
+// deliberately out of sync with fault::ValidTransition so a bug (or seeded
+// mutation) there cannot blind the checker. Numeric values follow
+// fault::SsdHealth: 0 healthy, 1 degraded, 2 failed, 3 recovering.
+bool LegalHealthTransition(int from, int to) {
+  if (from == to) return true;
+  switch (from) {
+    case 0: return to == 1 || to == 2;
+    case 1: return to == 0 || to == 2;
+    case 2: return to == 3;
+    case 3: return to == 0 || to == 2;
+    default: return false;
+  }
+}
+
+}  // namespace
+
+void InvariantChecker::Violate(const char* invariant, TenantId tenant,
+                               int ssd, std::string detail) {
+  Violation v;
+  v.when = now();
+  v.invariant = invariant;
+  v.tenant = static_cast<int32_t>(tenant);
+  v.ssd = ssd;
+  v.detail = std::move(detail);
+  violations_.push_back(v);
+  if (!fail_fast_) return;
+
+  std::fprintf(stderr,
+               "\n=== INVARIANT VIOLATION ===\n"
+               "t=%" PRId64 "ns invariant=%s tenant=%d ssd=%d\n"
+               "  %s\n",
+               v.when, v.invariant.c_str(), v.tenant, v.ssd,
+               v.detail.c_str());
+  if (tracer_ != nullptr && !tracer_->events().empty()) {
+    const auto& events = tracer_->events();
+    const size_t n = std::min<size_t>(events.size(), 16);
+    std::fprintf(stderr, "last %zu trace events:\n", n);
+    for (size_t i = events.size() - n; i < events.size(); ++i) {
+      const auto& e = events[i];
+      std::fprintf(stderr, "  [%12" PRIu64 "] %-24s tenant=%d ssd=%d\n",
+                   e.ts, e.name, e.labels.tenant, e.labels.ssd);
+    }
+  }
+  std::fprintf(stderr, "===========================\n");
+  std::abort();
+}
+
+// --- Client ----------------------------------------------------------------
+
+void InvariantChecker::OnClientAdmit(TenantId tenant, int ssd,
+                                     size_t queued) {
+  ++checks_run_;
+  ClientLedger& c = Client(tenant, ssd);
+  ++c.admitted;
+  // Every admitted IO is queued, in flight, or terminal — so the local
+  // queue depth must equal admitted minus everything that has left it.
+  const uint64_t left = c.issued + (c.terminal - c.terminal_issued);
+  if (c.admitted < left || c.admitted - left != queued) {
+    Violate("client.conservation.queued", tenant, ssd,
+            Format("admitted=%" PRIu64 " issued=%" PRIu64
+                   " failed_unissued=%" PRIu64 " but local queue=%zu",
+                   c.admitted, c.issued, c.terminal - c.terminal_issued,
+                   queued));
+  }
+}
+
+void InvariantChecker::OnClientIssue(TenantId tenant, int ssd, size_t queued,
+                                     uint32_t inflight, uint32_t credit_total,
+                                     bool credit_throttled) {
+  ++checks_run_;
+  ClientLedger& c = Client(tenant, ssd);
+  ++c.issued;
+  if (c.issued > c.admitted) {
+    Violate("client.conservation.queued", tenant, ssd,
+            Format("issued=%" PRIu64 " exceeds admitted=%" PRIu64, c.issued,
+                   c.admitted));
+    return;
+  }
+  const uint64_t left = c.issued + (c.terminal - c.terminal_issued);
+  if (c.admitted - left != queued) {
+    Violate("client.conservation.queued", tenant, ssd,
+            Format("admitted=%" PRIu64 " issued=%" PRIu64
+                   " failed_unissued=%" PRIu64 " but local queue=%zu",
+                   c.admitted, c.issued, c.terminal - c.terminal_issued,
+                   queued));
+  }
+  if (c.issued - c.terminal_issued != inflight) {
+    Violate("client.conservation.inflight", tenant, ssd,
+            Format("ledger in-flight=%" PRIu64
+                   " but initiator inflight=%u",
+                   c.issued - c.terminal_issued, inflight));
+  }
+  // §3.6 Algorithm 3: issue while credit_total > inflight, i.e. after the
+  // issue the pool is never exceeded.
+  if (credit_throttled && inflight > credit_total) {
+    Violate("client.credit.law", tenant, ssd,
+            Format("inflight=%u exceeds credit_total=%u after issue",
+                   inflight, credit_total));
+  }
+}
+
+void InvariantChecker::OnClientTerminal(TenantId tenant, int ssd, bool ok,
+                                        bool was_issued, uint32_t inflight) {
+  ++checks_run_;
+  (void)ok;
+  ClientLedger& c = Client(tenant, ssd);
+  ++c.terminal;
+  if (was_issued) ++c.terminal_issued;
+  if (c.terminal > c.admitted) {
+    Violate("client.terminal.overrun", tenant, ssd,
+            Format("terminal=%" PRIu64 " exceeds admitted=%" PRIu64,
+                   c.terminal, c.admitted));
+    return;
+  }
+  if (c.terminal_issued > c.issued) {
+    Violate("client.terminal.overrun", tenant, ssd,
+            Format("terminal_issued=%" PRIu64 " exceeds issued=%" PRIu64,
+                   c.terminal_issued, c.issued));
+    return;
+  }
+  if (c.issued - c.terminal_issued != inflight) {
+    Violate("client.conservation.inflight", tenant, ssd,
+            Format("ledger in-flight=%" PRIu64
+                   " but initiator inflight=%u",
+                   c.issued - c.terminal_issued, inflight));
+  }
+}
+
+void InvariantChecker::OnClientCreditUpdate(TenantId tenant, int ssd,
+                                            uint32_t credit) {
+  ++checks_run_;
+  ClientLedger& c = Client(tenant, ssd);
+  if (credit > c.max_credit_granted) {
+    Violate("client.credit.bound", tenant, ssd,
+            Format("client adopted credit=%u but switch never granted more "
+                   "than %u",
+                   credit, c.max_credit_granted));
+  }
+}
+
+// --- Target / policy -------------------------------------------------------
+
+void InvariantChecker::OnTargetAdmit(TenantId tenant, int ssd) {
+  ++checks_run_;
+  ++Policy(tenant, ssd).target_admitted;
+}
+
+void InvariantChecker::OnPolicyDispatch(TenantId tenant, int ssd) {
+  ++checks_run_;
+  PolicyLedger& p = Policy(tenant, ssd);
+  ++p.dispatched;
+  if (p.dispatched > p.target_admitted) {
+    Violate("policy.dispatch", tenant, ssd,
+            Format("dispatched=%" PRIu64 " exceeds target admits=%" PRIu64,
+                   p.dispatched, p.target_admitted));
+  }
+}
+
+void InvariantChecker::OnDeviceReturn(TenantId tenant, int ssd, bool ok) {
+  ++checks_run_;
+  (void)ok;
+  PolicyLedger& p = Policy(tenant, ssd);
+  ++p.device_returns;
+  if (p.device_returns > p.dispatched) {
+    Violate("policy.device.return", tenant, ssd,
+            Format("device returns=%" PRIu64 " exceed dispatches=%" PRIu64,
+                   p.device_returns, p.dispatched));
+  }
+}
+
+void InvariantChecker::OnPolicyDeliver(TenantId tenant, int ssd, bool ok) {
+  ++checks_run_;
+  (void)ok;
+  PolicyLedger& p = Policy(tenant, ssd);
+  ++p.delivered;
+  if (p.delivered > p.device_returns) {
+    Violate("policy.deliver", tenant, ssd,
+            Format("delivered=%" PRIu64 " exceed device returns=%" PRIu64,
+                   p.delivered, p.device_returns));
+    return;
+  }
+  if (p.delivered + p.failed > p.target_admitted) {
+    Violate("policy.deliver", tenant, ssd,
+            Format("delivered+failed=%" PRIu64 " exceed target admits=%" PRIu64,
+                   p.delivered + p.failed, p.target_admitted));
+  }
+}
+
+void InvariantChecker::OnPolicyFail(TenantId tenant, int ssd) {
+  ++checks_run_;
+  PolicyLedger& p = Policy(tenant, ssd);
+  ++p.failed;
+  if (p.delivered + p.failed > p.target_admitted) {
+    Violate("policy.deliver", tenant, ssd,
+            Format("delivered+failed=%" PRIu64 " exceed target admits=%" PRIu64,
+                   p.delivered + p.failed, p.target_admitted));
+  }
+}
+
+// --- Gimbal switch ---------------------------------------------------------
+
+void InvariantChecker::ConfigureDrr(int ssd, uint64_t quantum_bytes,
+                                    uint64_t slot_bytes, double cost_worst) {
+  DrrState& d = drr_[ssd];
+  d.quantum = quantum_bytes;
+  d.max_weighted =
+      static_cast<uint64_t>(static_cast<double>(slot_bytes) * cost_worst);
+}
+
+void InvariantChecker::OnCreditGrant(TenantId tenant, int ssd,
+                                     uint32_t credit) {
+  ++checks_run_;
+  ClientLedger& c = Client(tenant, ssd);
+  c.max_credit_granted = std::max(c.max_credit_granted, credit);
+}
+
+void InvariantChecker::OnDrrQuantum(TenantId tenant, int ssd,
+                                    uint64_t deficit_before,
+                                    uint64_t deficit_after, double weight) {
+  ++checks_run_;
+  DrrState& d = drr_[ssd];
+  // §3.5 Algorithm 2: a new round grants exactly weight x quantum. Same
+  // double->uint64 arithmetic as the scheduler, so equality is exact.
+  const uint64_t expected = static_cast<uint64_t>(
+      weight * static_cast<double>(d.quantum));
+  if (deficit_after < deficit_before ||
+      deficit_after - deficit_before != expected) {
+    Violate("drr.quantum.grant", tenant, ssd,
+            Format("grant=%" PRIu64 " but weight=%.3f x quantum=%" PRIu64
+                   " = %" PRIu64,
+                   deficit_after - deficit_before, weight, d.quantum,
+                   expected));
+  }
+  // A deficit only accumulates while it cannot cover the head-of-line IO,
+  // so right after a grant it is bounded by one grant plus the costliest
+  // single IO.
+  if (deficit_after > expected + d.max_weighted) {
+    Violate("drr.deficit.bound", tenant, ssd,
+            Format("deficit=%" PRIu64 " exceeds grant=%" PRIu64
+                   " + max weighted IO=%" PRIu64,
+                   deficit_after, expected, d.max_weighted));
+  }
+}
+
+void InvariantChecker::ResetSkewBaselines(DrrState& d) {
+  for (auto& [tenant, base] : d.base) base = d.service[tenant];
+}
+
+void InvariantChecker::OnDrrBacklog(TenantId tenant, int ssd,
+                                    bool backlogged) {
+  DrrState& d = drr_[ssd];
+  const bool member = d.base.count(tenant) != 0;
+  if (backlogged == member) return;  // idempotent: no membership change
+  if (backlogged) {
+    d.base.emplace(tenant, 0.0);
+  } else {
+    d.base.erase(tenant);
+  }
+  // Fairness is only promised between tenants backlogged over the same
+  // interval; any membership change starts a fresh comparison epoch.
+  ResetSkewBaselines(d);
+}
+
+void InvariantChecker::OnDrrServe(TenantId tenant, int ssd,
+                                  uint64_t weighted_bytes, double weight) {
+  ++checks_run_;
+  DrrState& d = drr_[ssd];
+  if (weight <= 0.0) weight = 1.0;
+  d.service[tenant] += static_cast<double>(weighted_bytes) / weight;
+  if (d.base.size() < 2) return;
+  double lo = 0.0, hi = 0.0;
+  bool first = true;
+  TenantId lo_t = 0, hi_t = 0;
+  for (const auto& [t, base] : d.base) {
+    const double rel = d.service[t] - base;
+    if (first || rel < lo) { lo = rel; lo_t = t; }
+    if (first || rel > hi) { hi = rel; hi_t = t; }
+    first = false;
+  }
+  const double bound =
+      kSkewRounds * static_cast<double>(d.quantum + d.max_weighted);
+  if (hi - lo > bound) {
+    Violate("drr.service.skew", tenant, ssd,
+            Format("normalized service skew %.0f (tenant %u ahead of %u) "
+                   "exceeds %.0f over one backlogged epoch",
+                   hi - lo, hi_t, lo_t, bound));
+  }
+}
+
+void InvariantChecker::OnSlotOpen(TenantId tenant, int ssd,
+                                  uint32_t slots_in_use, uint32_t allotted) {
+  ++checks_run_;
+  if (slots_in_use > allotted) {
+    Violate("slot.occupancy", tenant, ssd,
+            Format("slots in use=%u exceed allotment=%u", slots_in_use,
+                   allotted));
+  }
+}
+
+// --- Token bucket ----------------------------------------------------------
+
+void InvariantChecker::OnBucketUpdate(int ssd, Tick elapsed,
+                                      double target_rate, double read_before,
+                                      double write_before, double read_after,
+                                      double write_after, double cap) {
+  ++checks_run_;
+  const double before = read_before + write_before;
+  const double after = read_after + write_after;
+  const double expected =
+      target_rate * static_cast<double>(elapsed) / kNsPerSec;
+  if (after - before > expected + kTokenEps) {
+    Violate("bucket.conservation", kNoTenant, ssd,
+            Format("accrued %.1f tokens in %" PRIu64
+                   "ns but rate %.0f B/s allows %.1f",
+                   after - before, elapsed, target_rate, expected));
+  }
+  if (read_after > cap + kTokenEps || write_after > cap + kTokenEps) {
+    Violate("bucket.ceiling", kNoTenant, ssd,
+            Format("tokens read=%.1f write=%.1f exceed capacity=%.1f",
+                   read_after, write_after, cap));
+  }
+  if (read_after < -kTokenEps || write_after < -kTokenEps) {
+    Violate("bucket.conservation", kNoTenant, ssd,
+            Format("negative tokens read=%.1f write=%.1f", read_after,
+                   write_after));
+  }
+}
+
+void InvariantChecker::OnBucketConsume(int ssd, bool is_read, uint64_t bytes,
+                                       double before, double after,
+                                       double cap) {
+  ++checks_run_;
+  (void)cap;
+  const double delta = before - after;
+  const double want = static_cast<double>(bytes);
+  if (delta > want + kTokenEps || delta < want - kTokenEps) {
+    Violate("bucket.conservation", kNoTenant, ssd,
+            Format("%s consume of %" PRIu64 " bytes drained %.1f tokens",
+                   is_read ? "read" : "write", bytes, delta));
+  }
+  if (after < -kTokenEps) {
+    Violate("bucket.conservation", kNoTenant, ssd,
+            Format("%s bucket overdrawn to %.1f by %" PRIu64 "-byte consume",
+                   is_read ? "read" : "write", after, bytes));
+  }
+}
+
+// --- Latency monitor -------------------------------------------------------
+
+void InvariantChecker::OnLatencySample(int ssd, bool is_read, double ewma,
+                                       double threshold, double thresh_min,
+                                       double thresh_max, int state) {
+  ++checks_run_;
+  const char* dir = is_read ? "read" : "write";
+  if (ewma < 0.0) {
+    Violate("latency.sanity", kNoTenant, ssd,
+            Format("%s EWMA negative: %.1f", dir, ewma));
+    return;
+  }
+  if (threshold < thresh_min - 1e-6 || threshold > thresh_max + 1e-6) {
+    Violate("latency.sanity", kNoTenant, ssd,
+            Format("%s threshold %.1f outside [%.1f, %.1f]", dir, threshold,
+                   thresh_min, thresh_max));
+  }
+  // State 3 (overloaded) requires EWMA above Thresh_max; state 0
+  // (under-utilized) requires EWMA at or below Thresh_min (§3.2 Alg 1).
+  if (state == 3 && ewma <= thresh_max) {
+    Violate("latency.sanity", kNoTenant, ssd,
+            Format("%s state overloaded but EWMA %.1f <= Thresh_max %.1f",
+                   dir, ewma, thresh_max));
+  }
+  if (state == 0 && ewma > thresh_min + 1e-6) {
+    Violate("latency.sanity", kNoTenant, ssd,
+            Format("%s state under-utilized but EWMA %.1f > Thresh_min %.1f",
+                   dir, ewma, thresh_min));
+  }
+}
+
+// --- SSD health ------------------------------------------------------------
+
+void InvariantChecker::OnHealthTransition(int ssd, int from, int to) {
+  ++checks_run_;
+  if (!LegalHealthTransition(from, to)) {
+    static const char* kNames[] = {"healthy", "degraded", "failed",
+                                   "recovering"};
+    auto name = [](int s) {
+      return (s >= 0 && s < 4) ? kNames[s] : "invalid";
+    };
+    Violate("health.transition", kNoTenant, ssd,
+            Format("illegal SSD health transition %s -> %s", name(from),
+                   name(to)));
+  }
+}
+
+// --- End-of-run ------------------------------------------------------------
+
+bool InvariantChecker::CheckDrained() {
+  const size_t before = violations_.size();
+  for (const auto& [key, c] : clients_) {
+    const auto tenant = static_cast<TenantId>(key >> 16);
+    const int ssd = static_cast<int>(key & 0xffff);
+    ++checks_run_;
+    if (c.terminal != c.admitted) {
+      Violate("drain.client.balance", tenant, ssd,
+              Format("admitted=%" PRIu64 " but terminal=%" PRIu64
+                     " after drain",
+                     c.admitted, c.terminal));
+    }
+    if (c.terminal_issued != c.issued) {
+      Violate("drain.client.balance", tenant, ssd,
+              Format("issued=%" PRIu64 " but terminal_issued=%" PRIu64
+                     " after drain",
+                     c.issued, c.terminal_issued));
+    }
+  }
+  for (const auto& [key, p] : policies_) {
+    const auto tenant = static_cast<TenantId>(key >> 16);
+    const int ssd = static_cast<int>(key & 0xffff);
+    ++checks_run_;
+    if (p.delivered + p.failed != p.target_admitted) {
+      Violate("drain.policy.balance", tenant, ssd,
+              Format("target admits=%" PRIu64 " but delivered=%" PRIu64
+                     " + failed=%" PRIu64 " after drain",
+                     p.target_admitted, p.delivered, p.failed));
+    }
+    if (p.device_returns != p.dispatched) {
+      Violate("drain.policy.balance", tenant, ssd,
+              Format("dispatched=%" PRIu64 " but device returns=%" PRIu64
+                     " after drain",
+                     p.dispatched, p.device_returns));
+    }
+  }
+  return violations_.size() == before;
+}
+
+}  // namespace gimbal::check

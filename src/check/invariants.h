@@ -1,0 +1,200 @@
+// Online invariant checker (docs/TESTING.md).
+//
+// Attaches to a Testbed the way obs::Observability does — every layer keeps
+// a nullable pointer and fires a hook at the events that matter — and
+// verifies, as the simulation runs, the conservation and fairness
+// properties the paper states:
+//
+//   * per-tenant IO conservation at the client: every admitted IO is
+//     queued, in flight, or terminal at all times, and the checker's
+//     independent ledger must agree with the initiator's own counters,
+//   * credit-pool conservation in the end-to-end flow control (§3.6,
+//     Algorithm 3): a credit-throttled client never holds more IOs in
+//     flight than its credit total, and never believes a credit the
+//     switch did not grant,
+//   * DRR fairness (§3.5, Algorithm 2): quantum grants are exactly
+//     weight x quantum, deficits stay bounded, and the cost-normalized
+//     service skew between continuously backlogged tenants is bounded,
+//   * virtual-slot occupancy never exceeds the allotment (§3.5),
+//   * dual-token-bucket compliance (§3.3, Appendix C.1, Algorithm 4):
+//     tokens never exceed capacity, never go negative, accrue no faster
+//     than target_rate x elapsed, and each submission consumes exactly
+//     its size,
+//   * latency-EWMA/threshold sanity (§3.2): the dynamic threshold stays
+//     inside [Thresh_min, Thresh_max] and the congestion state matches
+//     the EWMA,
+//   * SSD-health transition legality (docs/FAULTS.md), validated against
+//     an independent copy of the legality table,
+//   * layered target/policy conservation: dispatches never exceed target
+//     admissions, device completions never exceed dispatches.
+//
+// A violation records the simulated timestamp, tenant/SSD labels and a
+// detail string; with fail_fast (the default, and what every Testbed-owned
+// checker uses) it also prints a report — including a trace-context
+// snippet when a tracer is attached — and aborts the run. Tests that
+// *expect* violations (tests/mutation_smoke.cc) construct the checker with
+// fail_fast=false and inspect violations() instead.
+//
+// CheckDrained() runs the end-of-run balance checks (admitted == terminal,
+// nothing in flight) and may only be called after the testbed has fully
+// quiesced (workers stopped, initiators shut down, event queue drained).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.h"
+#include "nvme/types.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+
+namespace gimbal::check {
+
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(bool fail_fast = true)
+      : fail_fast_(fail_fast) {}
+
+  // Timestamps for violations; null is allowed (violations stamp 0).
+  void AttachSim(const sim::Simulator* sim) { sim_ = sim; }
+  // Trace-context snippets in fail-fast reports; null is allowed.
+  void AttachTracer(const obs::EventTracer* tracer) { tracer_ = tracer; }
+
+  struct Violation {
+    Tick when = 0;
+    std::string invariant;  // stable name, catalogued in docs/TESTING.md
+    int32_t tenant = -1;
+    int32_t ssd = -1;
+    std::string detail;
+  };
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  bool ok() const { return violations_.empty(); }
+  uint64_t checks_run() const { return checks_run_; }
+
+  // --- Client (initiator) hooks --------------------------------------------
+  // An IO was admitted into the local queue (post MDTS split; one call per
+  // wire command). `queued` is the initiator's local queue depth after.
+  void OnClientAdmit(TenantId tenant, int ssd, size_t queued);
+  // An IO moved from queued to issued. `inflight`/`credit_total` are the
+  // initiator's counters after the move; `credit_throttled` selects the
+  // Algorithm 3 credit-law check.
+  void OnClientIssue(TenantId tenant, int ssd, size_t queued,
+                     uint32_t inflight, uint32_t credit_total,
+                     bool credit_throttled);
+  // An IO reached its terminal status (completed or failed). `was_issued`
+  // distinguishes IOs failed straight out of the local queue; `inflight`
+  // is the initiator's counter after any decrement.
+  void OnClientTerminal(TenantId tenant, int ssd, bool ok, bool was_issued,
+                        uint32_t inflight);
+  // The client adopted a piggybacked credit from a completion.
+  void OnClientCreditUpdate(TenantId tenant, int ssd, uint32_t credit);
+
+  // --- Target / policy hooks -----------------------------------------------
+  void OnTargetAdmit(TenantId tenant, int ssd);
+  void OnPolicyDispatch(TenantId tenant, int ssd);       // handed to the SSD
+  void OnDeviceReturn(TenantId tenant, int ssd, bool ok);
+  void OnPolicyDeliver(TenantId tenant, int ssd, bool ok);
+  void OnPolicyFail(TenantId tenant, int ssd);           // never dispatched
+
+  // --- Gimbal switch hooks -------------------------------------------------
+  // Per-SSD DRR constants, registered once at attach time.
+  void ConfigureDrr(int ssd, uint64_t quantum_bytes, uint64_t slot_bytes,
+                    double cost_worst);
+  // The switch granted a credit (piggybacked on a completion).
+  void OnCreditGrant(TenantId tenant, int ssd, uint32_t credit);
+  // A new DRR round granted a quantum: deficit before/after the grant.
+  void OnDrrQuantum(TenantId tenant, int ssd, uint64_t deficit_before,
+                    uint64_t deficit_after, double weight);
+  // A request was served (popped) by the DRR.
+  void OnDrrServe(TenantId tenant, int ssd, uint64_t weighted_bytes,
+                  double weight);
+  // The tenant's switch-side backlog state after a queue mutation
+  // (idempotent; membership changes reset the skew baseline).
+  void OnDrrBacklog(TenantId tenant, int ssd, bool backlogged);
+  // A virtual slot was opened; `slots_in_use` includes the new slot.
+  void OnSlotOpen(TenantId tenant, int ssd, uint32_t slots_in_use,
+                  uint32_t allotted);
+
+  // --- Token bucket hooks --------------------------------------------------
+  // After an accrual step: tokens gained must not exceed
+  // target_rate x elapsed, and both buckets must respect [0, cap].
+  void OnBucketUpdate(int ssd, Tick elapsed, double target_rate,
+                      double read_before, double write_before,
+                      double read_after, double write_after, double cap);
+  // After a consume: the bucket must decrement by exactly `bytes` and may
+  // not be overdrawn.
+  void OnBucketConsume(int ssd, bool is_read, uint64_t bytes, double before,
+                       double after, double cap);
+
+  // --- Latency monitor hook ------------------------------------------------
+  void OnLatencySample(int ssd, bool is_read, double ewma, double threshold,
+                       double thresh_min, double thresh_max, int state);
+
+  // --- SSD health hook -----------------------------------------------------
+  // Fired after a transition was *applied*; legality is re-validated here
+  // against an independent table (fault::ValidTransition itself is a
+  // mutation target). States use the fault::SsdHealth numeric values.
+  void OnHealthTransition(int ssd, int from, int to);
+
+  // --- End-of-run ----------------------------------------------------------
+  // Balance checks over every ledger; call only after a full drain.
+  // Returns true when no new violation was recorded.
+  bool CheckDrained();
+
+ private:
+  struct ClientLedger {
+    uint64_t admitted = 0;
+    uint64_t issued = 0;
+    uint64_t terminal = 0;         // ok + failed, issued or not
+    uint64_t terminal_issued = 0;  // terminal IOs that had been issued
+    // Highest credit the switch ever granted this (tenant, ssd); starts at
+    // the client's optimistic initial grant.
+    uint32_t max_credit_granted = 8;
+  };
+  struct PolicyLedger {
+    uint64_t target_admitted = 0;
+    uint64_t dispatched = 0;
+    uint64_t device_returns = 0;
+    uint64_t delivered = 0;  // ok + non-ok through Deliver()
+    uint64_t failed = 0;     // FailRequest() (never dispatched)
+  };
+  struct DrrState {
+    uint64_t quantum = 128 * 1024;
+    uint64_t max_weighted = 9 * 128 * 1024;
+    // Lifetime cost-normalized service per tenant, and the baseline taken
+    // at the last backlogged-set membership change. Skew is measured per
+    // epoch: any join/leave re-baselines every member.
+    std::unordered_map<TenantId, double> service;
+    std::unordered_map<TenantId, double> base;
+  };
+
+  static uint64_t Key(TenantId tenant, int ssd) {
+    return (static_cast<uint64_t>(tenant) << 16) ^
+           static_cast<uint64_t>(static_cast<uint16_t>(ssd));
+  }
+  ClientLedger& Client(TenantId tenant, int ssd) {
+    return clients_[Key(tenant, ssd)];
+  }
+  PolicyLedger& Policy(TenantId tenant, int ssd) {
+    return policies_[Key(tenant, ssd)];
+  }
+
+  Tick now() const { return sim_ ? sim_->now() : 0; }
+  void Violate(const char* invariant, TenantId tenant, int ssd,
+               std::string detail);
+  void ResetSkewBaselines(DrrState& d);
+
+  bool fail_fast_;
+  const sim::Simulator* sim_ = nullptr;
+  const obs::EventTracer* tracer_ = nullptr;
+  uint64_t checks_run_ = 0;
+  std::vector<Violation> violations_;
+  std::unordered_map<uint64_t, ClientLedger> clients_;
+  std::unordered_map<uint64_t, PolicyLedger> policies_;
+  std::unordered_map<int, DrrState> drr_;
+};
+
+}  // namespace gimbal::check

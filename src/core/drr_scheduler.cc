@@ -34,12 +34,21 @@ void DrrScheduler::Activate(TenantState& t) {
   active_.push_back(&t);
 }
 
+bool DrrScheduler::OpenSlot(TenantState& t) {
+  if (!t.TryOpenSlot(AllottedSlots())) return false;
+  if (chk_) {
+    chk_->OnSlotOpen(t.id(), ssd_index_, t.SlotsInUse(), AllottedSlots());
+  }
+  return true;
+}
+
 void DrrScheduler::Enqueue(const IoRequest& req) {
   TenantState& t = GetTenant(req.tenant);
   t.Enqueue(req);
   ++queued_total_;
   UpdateBusy(t);
   Activate(t);
+  NotifyBacklog(t);
 }
 
 std::optional<DrrScheduler::Scheduled> DrrScheduler::Dequeue() {
@@ -60,20 +69,29 @@ std::optional<DrrScheduler::Scheduled> DrrScheduler::Dequeue() {
       t->DropEmptyOpenSlot();
       active_.pop_front();
       UpdateBusy(*t);
+      NotifyBacklog(*t);
       continue;
     }
-    if (!t->HasOpenSlot() && !t->TryOpenSlot(AllottedSlots())) {
+    if (!t->HasOpenSlot() && !OpenSlot(*t)) {
       // Out of virtual slots: move to deferred, zero the deficit
       // (Algorithm 2 / §3.5).
       t->deficit = 0;
       t->in_active = false;
       t->in_deferred = true;
       active_.pop_front();
+      NotifyBacklog(*t);
       continue;
     }
     if (t->new_round) {
-      t->deficit += static_cast<uint64_t>(
-          TenantWeight(t->id()) * static_cast<double>(params_.drr_quantum));
+      const uint64_t deficit_before = t->deficit;
+      double grant =
+          TenantWeight(t->id()) * static_cast<double>(params_.drr_quantum);
+      if (GIMBAL_MUT(kDrrSkew) && t->id() % 2 == 0) grant *= 4.0;
+      t->deficit += static_cast<uint64_t>(grant);
+      if (chk_) {
+        chk_->OnDrrQuantum(t->id(), ssd_index_, deficit_before, t->deficit,
+                           TenantWeight(t->id()));
+      }
       t->new_round = false;
     }
     const IoRequest& head = t->Peek();
@@ -91,16 +109,20 @@ std::optional<DrrScheduler::Scheduled> DrrScheduler::Dequeue() {
     out.req = t->Pop();
     --queued_total_;
     t->deficit -= weighted;
+    if (chk_) {
+      chk_->OnDrrServe(t->id(), ssd_index_, weighted, TenantWeight(t->id()));
+    }
     out.slot_id = t->ChargeSlot(weighted, params_.slot_bytes);
     // If the slot filled and no further slot can open, the tenant defers
     // immediately so it cannot monopolize the next dequeue.
-    if (!t->HasOpenSlot() && !t->TryOpenSlot(AllottedSlots())) {
+    if (!t->HasOpenSlot() && !OpenSlot(*t)) {
       t->deficit = 0;
       t->in_active = false;
       t->in_deferred = true;
       active_.pop_front();
     }
     UpdateBusy(*t);
+    NotifyBacklog(*t);
     return out;
   }
   return std::nullopt;
@@ -120,6 +142,7 @@ std::vector<IoRequest> DrrScheduler::Disconnect(TenantId tenant) {
   t.DropEmptyOpenSlot();
   t.disconnected = true;
   UpdateBusy(t);
+  NotifyBacklog(t);
   if (!IsBusy(t)) {
     busy_flags_.erase(tenant);
     weights_.erase(tenant);
@@ -140,6 +163,7 @@ std::vector<IoRequest> DrrScheduler::DrainAll() {
     t.in_active = false;
     t.in_deferred = false;
     UpdateBusy(t);
+    NotifyBacklog(t);
   }
   active_.clear();
   // unordered_map iteration order is implementation-defined; sort so the
@@ -158,6 +182,7 @@ void DrrScheduler::OnCompletion(TenantId tenant, uint64_t slot_id) {
   if (!t.HasQueued()) t.ReapQuiescentOpenSlot();
   if (t.disconnected) {
     UpdateBusy(t);
+    NotifyBacklog(t);
     if (!IsBusy(t)) {
       busy_flags_.erase(tenant);
       weights_.erase(tenant);
@@ -169,7 +194,7 @@ void DrrScheduler::OnCompletion(TenantId tenant, uint64_t slot_id) {
     if (t.HasQueued()) {
       // Algorithm 2, Sched_Complete: a freed slot re-activates the tenant
       // at the end of the active list.
-      if (t.TryOpenSlot(AllottedSlots())) {
+      if (OpenSlot(t)) {
         t.in_deferred = false;
         Activate(t);
       }
@@ -179,6 +204,7 @@ void DrrScheduler::OnCompletion(TenantId tenant, uint64_t slot_id) {
     }
   }
   UpdateBusy(t);
+  NotifyBacklog(t);
 }
 
 void DrrScheduler::SetTenantWeight(TenantId id, double weight) {

@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/invariants.h"
 #include "core/params.h"
 #include "core/virtual_slot.h"
 #include "core/write_cost.h"
@@ -85,9 +86,31 @@ class DrrScheduler {
   void SetTenantWeight(TenantId id, double weight);
   double TenantWeight(TenantId id) const;
 
+  // Invariant hooks: quantum grants, serves, slot opens and backlog
+  // transitions (docs/TESTING.md). Null detaches.
+  void AttachChecker(check::InvariantChecker* chk, int ssd_index) {
+    chk_ = chk;
+    ssd_index_ = ssd_index;
+    if (chk_) {
+      chk_->ConfigureDrr(ssd_index, params_.drr_quantum, params_.slot_bytes,
+                         params_.write_cost_worst);
+    }
+  }
+
  private:
   void Activate(TenantState& t);
   void UpdateBusy(TenantState& t);
+  // TryOpenSlot under the current allotment, reporting the new occupancy
+  // to the checker.
+  bool OpenSlot(TenantState& t);
+  // Report whether `t` is eligible for service (queued work and not
+  // deferred); the checker measures fairness only across such tenants.
+  void NotifyBacklog(TenantState& t) {
+    if (chk_) {
+      chk_->OnDrrBacklog(t.id(), ssd_index_,
+                         t.HasQueued() && !t.in_deferred);
+    }
+  }
   bool IsBusy(const TenantState& t) const {
     return t.HasQueued() || t.SlotsInUse() > 0;
   }
@@ -100,6 +123,8 @@ class DrrScheduler {
   std::deque<TenantState*> active_;
   uint32_t busy_tenants_ = 0;
   uint32_t queued_total_ = 0;
+  check::InvariantChecker* chk_ = nullptr;
+  int ssd_index_ = -1;
 };
 
 }  // namespace gimbal::core

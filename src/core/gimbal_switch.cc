@@ -33,6 +33,13 @@ void GimbalSwitch::AttachObservability(obs::Observability* obs,
   m_queue_depth_ = &reg.GetGauge(schema::kQueueDepth, l);
 }
 
+void GimbalSwitch::AttachChecker(check::InvariantChecker* chk,
+                                 int ssd_index) {
+  PolicyBase::AttachChecker(chk, ssd_index);
+  rate_.AttachChecker(chk, ssd_index);
+  scheduler_.AttachChecker(chk, ssd_index);
+}
+
 void GimbalSwitch::OnRequest(const IoRequest& req) {
   ++stats_.requests;
   if (health_ == fault::SsdHealth::kFailed) {
@@ -163,6 +170,7 @@ void GimbalSwitch::OnDeviceCompletion(const IoRequest& req,
 
   // §3.6: piggyback the tenant's refreshed credit on the completion.
   const uint32_t credit = scheduler_.CreditFor(req.tenant);
+  if (chk_) chk_->OnCreditGrant(req.tenant, ssd_index_, credit);
   if (obs_) {
     m_credit_grants_->Add(1);
     const obs::Labels l =

@@ -50,6 +50,7 @@ class GimbalSwitch : public PolicyBase {
   }
   std::string name() const override { return "gimbal"; }
   void AttachObservability(obs::Observability* obs, int ssd_index) override;
+  void AttachChecker(check::InvariantChecker* chk, int ssd_index) override;
 
   // Per-SSD virtual view for `tenant` (§3.7).
   VirtualView View(TenantId tenant) const;

@@ -13,6 +13,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "check/invariants.h"
 #include "fault/health.h"
 #include "nvme/types.h"
 #include "obs/obs.h"
@@ -70,6 +71,14 @@ class IoPolicy {
     (void)ssd_index;
   }
 
+  // Attach the online invariant checker (docs/TESTING.md); same contract as
+  // AttachObservability: null detaches, cost when detached is one branch
+  // per hook site.
+  virtual void AttachChecker(check::InvariantChecker* chk, int ssd_index) {
+    (void)chk;
+    (void)ssd_index;
+  }
+
  protected:
   CompletionFn complete_;
 };
@@ -91,6 +100,11 @@ class PolicyBase : public IoPolicy {
     tenant_metrics_.clear();
   }
 
+  void AttachChecker(check::InvariantChecker* chk, int ssd_index) override {
+    chk_ = chk;
+    ssd_index_ = ssd_index;
+  }
+
   uint32_t device_inflight() const { return device_.inflight(); }
 
  protected:
@@ -107,6 +121,7 @@ class PolicyBase : public IoPolicy {
           {{"bytes", static_cast<double>(req.length)},
            {"write", req.type == IoType::kWrite ? 1.0 : 0.0}});
     }
+    if (chk_) chk_->OnPolicyDispatch(req.tenant, ssd_index_);
     uint64_t cookie = next_cookie_++;
     tracked_.emplace(cookie, Tracked{req, tag});
     ssd::DeviceIo io;
@@ -118,6 +133,10 @@ class PolicyBase : public IoPolicy {
       auto it = tracked_.find(dc.cookie);
       Tracked t = it->second;
       tracked_.erase(it);
+      if (chk_) {
+        chk_->OnDeviceReturn(t.req.tenant, ssd_index_,
+                             dc.status == IoStatus::kOk);
+      }
       OnDeviceCompletion(t.req, dc, t.tag);
     });
   }
@@ -166,6 +185,7 @@ class PolicyBase : public IoPolicy {
              {"status", static_cast<double>(static_cast<int>(cpl.status))}});
       }
     }
+    if (chk_) chk_->OnPolicyDeliver(req.tenant, ssd_index_, cpl.ok());
     if (complete_) complete_(req, cpl);
   }
 
@@ -188,6 +208,7 @@ class PolicyBase : public IoPolicy {
           {{"bytes", static_cast<double>(req.length)},
            {"status", static_cast<double>(static_cast<int>(status))}});
     }
+    if (chk_) chk_->OnPolicyFail(req.tenant, ssd_index_);
     if (complete_) complete_(req, cpl);
   }
 
@@ -219,6 +240,7 @@ class PolicyBase : public IoPolicy {
   sim::Simulator& sim_;
   ssd::BlockDevice& device_;
   obs::Observability* obs_ = nullptr;
+  check::InvariantChecker* chk_ = nullptr;
   int ssd_index_ = -1;
 
  private:

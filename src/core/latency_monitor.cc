@@ -71,6 +71,10 @@ CongestionState LatencyMonitor::Update(Tick latency) {
   // The threshold never drops below the congestion-free floor.
   if (threshold_ < min) threshold_ = min;
 
+  if (chk_) {
+    chk_->OnLatencySample(ssd_index_, chk_is_read_, ewma, threshold_, min,
+                          max, static_cast<int>(state_));
+  }
   if (obs_) {
     m_ewma_->Set(ewma);
     m_thresh_->Set(threshold_);

@@ -7,6 +7,7 @@
 // frequent as latency approaches the ceiling).
 #pragma once
 
+#include "check/invariants.h"
 #include "common/stats.h"
 #include "common/time.h"
 #include "core/params.h"
@@ -45,6 +46,15 @@ class LatencyMonitor {
   void AttachObservability(obs::Observability* obs, int ssd_index, IoType type,
                            const sim::Simulator* sim);
 
+  // Invariant hook: every Update() reports EWMA/threshold/state for the
+  // §3.2 sanity checks (docs/TESTING.md).
+  void AttachChecker(check::InvariantChecker* chk, int ssd_index,
+                     IoType type) {
+    chk_ = chk;
+    ssd_index_ = ssd_index;
+    chk_is_read_ = type == IoType::kRead;
+  }
+
  private:
   const GimbalParams& params_;
   Ewma ewma_;
@@ -52,6 +62,8 @@ class LatencyMonitor {
   CongestionState state_ = CongestionState::kUnderUtilized;
 
   // Observability (null = not observed).
+  check::InvariantChecker* chk_ = nullptr;
+  bool chk_is_read_ = true;
   obs::Observability* obs_ = nullptr;
   const sim::Simulator* obs_sim_ = nullptr;
   int ssd_index_ = -1;

@@ -55,3 +55,28 @@ struct GimbalParams {
 };
 
 }  // namespace gimbal::core
+
+// --- Mutation testing (tests/mutation_smoke.cc, docs/TESTING.md) -----------
+//
+// With -DGIMBAL_MUTATIONS=1 the library carries a handful of seeded,
+// runtime-selectable off-by-one bugs at the exact invariants the checker
+// guards; the mutation-smoke test flips one at a time and asserts the
+// checker reports the matching violation. In a normal build GIMBAL_MUT(x)
+// is the literal `false`, so every mutation site folds away to the original
+// code at compile time.
+#ifdef GIMBAL_MUTATIONS
+namespace gimbal::mut {
+enum class Mutation {
+  kNone,
+  kCreditLeak,      // initiator issues one IO beyond its credit pool
+  kDrrSkew,         // even-numbered tenants earn a 4x DRR quantum
+  kBucketOverrun,   // token bucket charges only half the consumed bytes
+  kSlotOverrun,     // virtual-slot allotment off by one
+  kHealthSkip,      // SSD health machine skips transition validation
+};
+inline Mutation g_active = Mutation::kNone;
+}  // namespace gimbal::mut
+#define GIMBAL_MUT(m) (::gimbal::mut::g_active == ::gimbal::mut::Mutation::m)
+#else
+#define GIMBAL_MUT(m) false
+#endif

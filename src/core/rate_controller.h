@@ -62,6 +62,14 @@ class RateController {
   void AttachObservability(obs::Observability* obs, int ssd_index,
                            const sim::Simulator* sim);
 
+  // Attach the invariant checker (propagated to both latency monitors and
+  // the token bucket).
+  void AttachChecker(check::InvariantChecker* chk, int ssd_index) {
+    read_monitor_.AttachChecker(chk, ssd_index, IoType::kRead);
+    write_monitor_.AttachChecker(chk, ssd_index, IoType::kWrite);
+    bucket_.AttachChecker(chk, ssd_index);
+  }
+
   // Simulated time until the read bucket could cover `bytes` at the current
   // rate (used by the switch to schedule a poke when pacing stalls with no
   // completions outstanding).

@@ -12,6 +12,8 @@ void DualTokenBucket::Update(Tick now, double target_rate, double write_cost) {
   if (elapsed <= 0) return;
   last_update_ = now;
 
+  const double read_before = read_tokens_;
+  const double write_before = write_tokens_;
   const double avail =
       target_rate * static_cast<double>(elapsed) / kNsPerSec;
   // Algorithm 4: read bucket gets wc/(1+wc), write bucket 1/(1+wc).
@@ -28,11 +30,22 @@ void DualTokenBucket::Update(Tick now, double target_rate, double write_cost) {
     if (read_tokens_ > cap_) read_tokens_ = cap_;
     write_tokens_ = cap_;
   }
+  if (chk_) {
+    chk_->OnBucketUpdate(ssd_index_, elapsed, target_rate, read_before,
+                         write_before, read_tokens_, write_tokens_, cap_);
+  }
 }
 
 void DualTokenBucket::Consume(IoType type, uint64_t bytes) {
   double& t = type == IoType::kRead ? read_tokens_ : write_tokens_;
-  t -= static_cast<double>(bytes);
+  const double before = t;
+  uint64_t charged = bytes;
+  if (GIMBAL_MUT(kBucketOverrun)) charged = bytes / 2;
+  t -= static_cast<double>(charged);
+  if (chk_) {
+    chk_->OnBucketConsume(ssd_index_, type == IoType::kRead, bytes, before,
+                          t, cap_);
+  }
 }
 
 void DualTokenBucket::DiscardTokens() {

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "check/invariants.h"
 #include "common/time.h"
 #include "core/params.h"
 #include "nvme/types.h"
@@ -47,7 +48,16 @@ class DualTokenBucket {
   }
   double capacity() const { return cap_; }
 
+  // Invariant hooks: accrual never outruns target_rate x elapsed, tokens
+  // stay in [0, cap], consumes decrement exactly (docs/TESTING.md).
+  void AttachChecker(check::InvariantChecker* chk, int ssd_index) {
+    chk_ = chk;
+    ssd_index_ = ssd_index;
+  }
+
  private:
+  check::InvariantChecker* chk_ = nullptr;
+  int ssd_index_ = -1;
   double cap_;
   double read_tokens_ = 0;
   double write_tokens_ = 0;

@@ -12,6 +12,7 @@
 #include <deque>
 #include <vector>
 
+#include "core/params.h"
 #include "nvme/types.h"
 
 namespace gimbal::core {
@@ -57,6 +58,7 @@ class TenantState {
   // Open a new slot if the allotment permits. Returns false when the
   // tenant must move to the deferred list.
   bool TryOpenSlot(uint32_t allotted) {
+    if (GIMBAL_MUT(kSlotOverrun)) ++allotted;
     if (SlotsInUse() >= allotted) return false;
     slots_.push_back(VirtualSlot{.id = next_slot_id_++});
     return true;

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/params.h"
 #include "obs/schema.h"
 
 namespace gimbal::fabric {
@@ -40,7 +41,7 @@ bool Initiator::CanIssue() const {
       return true;
     case ThrottleMode::kCredit:
       // Algorithm 3: submit while credit_tot > inflight.
-      return credit_total_ > inflight_;
+      return credit_total_ + (GIMBAL_MUT(kCreditLeak) ? 1u : 0u) > inflight_;
     case ThrottleMode::kParda:
       return parda_.CanIssue(inflight_);
   }
@@ -104,10 +105,11 @@ void Initiator::Submit(IoType type, uint64_t offset, uint32_t length,
   // (ok/failed), which is the no-IO-lost invariant the fault tests sweep.
   if (m_submitted_) m_submitted_->Add(1);
   pending_.push_back(std::move(p));
+  if (chk_) chk_->OnClientAdmit(tenant_, pipeline_, pending_.size());
   IssueLoop();
 }
 
-void Initiator::FailLocally(Pending p, IoStatus status) {
+void Initiator::FailLocally(Pending p, IoStatus status, bool was_issued) {
   IoCompletion cpl;
   cpl.id = p.req.id;
   cpl.tenant = tenant_;
@@ -117,6 +119,10 @@ void Initiator::FailLocally(Pending p, IoStatus status) {
   const Tick e2e =
       p.req.client_submit > 0 ? sim_.now() - p.req.client_submit : 0;
   if (m_failed_) m_failed_->Add(1);
+  if (chk_) {
+    chk_->OnClientTerminal(tenant_, pipeline_, /*ok=*/false, was_issued,
+                           inflight_);
+  }
   if (p.done) {
     sim_.After(0, [done = std::move(p.done), cpl, e2e]() { done(cpl, e2e); });
   }
@@ -131,7 +137,9 @@ void Initiator::Shutdown() {
   // disconnect). Fail everything still queued locally.
   std::deque<Pending> pending = std::move(pending_);
   pending_.clear();
-  for (auto& p : pending) FailLocally(std::move(p), IoStatus::kAborted);
+  for (auto& p : pending) {
+    FailLocally(std::move(p), IoStatus::kAborted, /*was_issued=*/false);
+  }
   // The disconnect capsule trails any already-issued commands (the fabric
   // is FIFO per direction), so the target sees them first.
   net_.Send(Direction::kClientToTarget, kCapsuleBytes, [this]() {
@@ -155,7 +163,9 @@ void Initiator::Crash() {
   // completions still in flight arrive for unknown ids and count as late.
   std::deque<Pending> pending = std::move(pending_);
   pending_.clear();
-  for (auto& p : pending) FailLocally(std::move(p), IoStatus::kAborted);
+  for (auto& p : pending) {
+    FailLocally(std::move(p), IoStatus::kAborted, /*was_issued=*/false);
+  }
   std::vector<uint64_t> ids;
   ids.reserve(issued_.size());
   for (const auto& [id, p] : issued_) ids.push_back(id);
@@ -166,7 +176,7 @@ void Initiator::Crash() {
     issued_.erase(it);
     --inflight_;
     p.timer.Cancel();
-    FailLocally(std::move(p), IoStatus::kAborted);
+    FailLocally(std::move(p), IoStatus::kAborted, /*was_issued=*/true);
   }
 }
 
@@ -199,6 +209,10 @@ void Initiator::IssueLoop() {
     ++inflight_;
     IoRequest req = p.req;
     issued_.emplace(req.id, std::move(p));
+    if (chk_) {
+      chk_->OnClientIssue(tenant_, pipeline_, pending_.size(), inflight_,
+                          credit_total_, mode_ == ThrottleMode::kCredit);
+    }
     SendCommand(req);
     ArmTimeout(req.id, 1);
   }
@@ -239,7 +253,7 @@ void Initiator::OnTimeout(uint64_t id, int attempt) {
     Pending out = std::move(it->second);
     issued_.erase(it);
     --inflight_;
-    FailLocally(std::move(out), status);
+    FailLocally(std::move(out), status, /*was_issued=*/true);
     IssueLoop();
     return;
   }
@@ -268,7 +282,7 @@ void Initiator::OnTimeout(uint64_t id, int attempt) {
       Pending out = std::move(it2->second);
       issued_.erase(it2);
       --inflight_;
-      FailLocally(std::move(out), IoStatus::kAborted);
+      FailLocally(std::move(out), IoStatus::kAborted, /*was_issued=*/true);
       return;
     }
     ++it2->second.attempts;
@@ -296,6 +310,13 @@ void Initiator::OnFabricCompletion(const IoCompletion& cpl) {
   p.timer.Cancel();
 
   const Tick e2e = sim_.now() - p.req.client_submit;
+  if (chk_) {
+    if (cpl.credit > 0) {
+      chk_->OnClientCreditUpdate(tenant_, pipeline_, cpl.credit);
+    }
+    chk_->OnClientTerminal(tenant_, pipeline_, cpl.ok(), /*was_issued=*/true,
+                           inflight_);
+  }
   if (cpl.credit > 0) credit_total_ = cpl.credit;  // §3.6 credit update
   // Faulted completions carry no queueing-delay signal: keep them out of
   // the PARDA latency window, as the target keeps them out of its EWMAs.

@@ -16,6 +16,7 @@
 #include <unordered_map>
 
 #include "baselines/parda_policy.h"
+#include "check/invariants.h"
 #include "fabric/network.h"
 #include "fabric/target.h"
 #include "nvme/types.h"
@@ -106,6 +107,10 @@ class Initiator : public CompletionSink {
   // exactly regardless of IOs in flight at window edges.
   void AttachObservability(obs::Observability* obs);
 
+  // Attach the invariant checker: admit/issue/terminal conservation and
+  // the §3.6 credit law are checked at every transition (docs/TESTING.md).
+  void AttachChecker(check::InvariantChecker* chk) { chk_ = chk; }
+
  private:
   struct Pending {
     IoRequest req;
@@ -127,7 +132,9 @@ class Initiator : public CompletionSink {
   void ArmTimeout(uint64_t id, int attempt);
   void OnTimeout(uint64_t id, int attempt);
   void KeepaliveTick();
-  void FailLocally(Pending p, IoStatus status);
+  // `was_issued` tells the checker whether the IO ever left the local
+  // queue (its in-flight ledger only covers issued IOs).
+  void FailLocally(Pending p, IoStatus status, bool was_issued);
 
   sim::Simulator& sim_;
   Network& net_;
@@ -161,6 +168,7 @@ class Initiator : public CompletionSink {
   obs::Counter* m_timeouts_ = nullptr;
   obs::Counter* m_late_ = nullptr;
   obs::Observability* obs_ = nullptr;
+  check::InvariantChecker* chk_ = nullptr;
 };
 
 }  // namespace gimbal::fabric

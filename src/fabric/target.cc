@@ -29,7 +29,9 @@ int Target::AddPipeline(std::unique_ptr<core::IoPolicy> policy) {
         FinishCompletion(*raw, req, cpl);
       });
   const int id = static_cast<int>(pipelines_.size());
+  p->id = id;
   p->policy->AttachObservability(obs_, id);
+  p->policy->AttachChecker(chk_, id);
   pipelines_.push_back(std::move(p));
   return id;
 }
@@ -39,6 +41,13 @@ void Target::AttachObservability(obs::Observability* obs) {
   for (int i = 0; i < static_cast<int>(pipelines_.size()); ++i) {
     pipelines_[i]->policy->AttachObservability(obs_, i);
     pipelines_[i]->admit.clear();
+  }
+}
+
+void Target::AttachChecker(check::InvariantChecker* chk) {
+  chk_ = chk;
+  for (int i = 0; i < static_cast<int>(pipelines_.size()); ++i) {
+    pipelines_[i]->policy->AttachChecker(chk_, i);
   }
 }
 
@@ -83,20 +92,30 @@ void Target::OnCommandCapsule(int pipeline, IoRequest req) {
                       net_.Send(Direction::kClientToTarget, req.length,
                                 [this, &p, req]() mutable {
                                   sim_.After(StagingDelay(req.length),
-                                             [&p, req]() {
-                                               p.policy->OnRequest(req);
+                                             [this, &p, req]() {
+                                               DeliverToPolicy(p, req);
                                              });
                                 });
                     });
         } else if (req.type == IoType::kWrite) {
           // Inlined payload arrived with the capsule: just stage it.
-          sim_.After(StagingDelay(req.length), [&p, req]() {
-            p.policy->OnRequest(req);
+          sim_.After(StagingDelay(req.length), [this, &p, req]() {
+            DeliverToPolicy(p, req);
           });
         } else {
-          p.policy->OnRequest(req);
+          DeliverToPolicy(p, req);
         }
       });
+}
+
+// Policy ingress. The checker's target-admit ledger counts here — after
+// the RDMA_READ for large writes — because a link flap can still eat the
+// payload fetch between capsule arrival and this point, and a command the
+// policy never saw cannot be expected to terminate (the client's retry
+// covers it instead).
+void Target::DeliverToPolicy(Pipeline& p, const IoRequest& req) {
+  if (chk_) chk_->OnTargetAdmit(req.tenant, p.id);
+  p.policy->OnRequest(req);
 }
 
 void Target::OnTrimCapsule(int pipeline, uint64_t offset, uint32_t length) {

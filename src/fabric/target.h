@@ -100,6 +100,9 @@ class Target {
   // Pipeline index doubles as the `ssd` label. Pass nullptr to detach.
   void AttachObservability(obs::Observability* obs);
 
+  // Attach the invariant checker; propagated like AttachObservability.
+  void AttachChecker(check::InvariantChecker* chk);
+
   core::IoPolicy& policy(int pipeline) { return *pipelines_[pipeline]->policy; }
   int pipeline_count() const { return static_cast<int>(pipelines_.size()); }
   const TargetConfig& config() const { return config_; }
@@ -113,6 +116,7 @@ class Target {
  private:
   struct Pipeline {
     std::unique_ptr<core::IoPolicy> policy;
+    int id = 0;
     int core = 0;
     std::unordered_map<TenantId, CompletionSink*> sinks;
     // Last command/keepalive capsule per tenant; populated only while
@@ -127,6 +131,7 @@ class Target {
   };
 
   sim::FifoResource& CoreOf(const Pipeline& p) { return *cores_[p.core]; }
+  void DeliverToPolicy(Pipeline& p, const IoRequest& req);
   void FinishCompletion(Pipeline& p, const IoRequest& req, IoCompletion cpl);
   void TouchSession(int pipeline, TenantId tenant);
   void ReapStaleSessions();
@@ -146,6 +151,7 @@ class Target {
   // so Run()-to-idle experiments still drain the event queue.
   sim::TimerHandle reaper_timer_;
   obs::Observability* obs_ = nullptr;  // null = not observed
+  check::InvariantChecker* chk_ = nullptr;
 };
 
 }  // namespace gimbal::fabric

@@ -64,7 +64,8 @@ void FaultInjector::Schedule(const FaultPlan& plan) {
       // Only un-degrade if no other degrading window is still active and
       // the device has not failed meanwhile (Set validates transitions).
       if (!Degrading(w.ssd, sim_.now()) &&
-          health(w.ssd) == SsdHealth::kDegraded) {
+          (GIMBAL_MUT(kHealthSkip) ||
+           health(w.ssd) == SsdHealth::kDegraded)) {
         SetHealth(w.ssd, SsdHealth::kHealthy);
       }
     }));
@@ -77,7 +78,8 @@ void FaultInjector::Schedule(const FaultPlan& plan) {
     }));
     scheduled_.push_back(sim_.At(b.end, [this, b]() {
       if (!Degrading(b.ssd, sim_.now()) &&
-          health(b.ssd) == SsdHealth::kDegraded) {
+          (GIMBAL_MUT(kHealthSkip) ||
+           health(b.ssd) == SsdHealth::kDegraded)) {
         SetHealth(b.ssd, SsdHealth::kHealthy);
       }
     }));

@@ -143,6 +143,14 @@ class FaultInjector {
 
   void AttachObservability(obs::Observability* obs);
 
+  // Attach the invariant checker to every SSD's health machine: each
+  // applied transition is re-validated independently (docs/TESTING.md).
+  void AttachChecker(check::InvariantChecker* chk) {
+    for (int i = 0; i < num_ssds(); ++i) {
+      ssds_[i].machine.AttachChecker(chk, i);
+    }
+  }
+
   struct FaultCounters {
     uint64_t media_errors = 0;
     uint64_t device_failed_ios = 0;

@@ -14,7 +14,9 @@
 // device bears no relation to the pre-failure latency profile).
 #pragma once
 
+#include "check/invariants.h"
 #include "common/time.h"
+#include "core/params.h"  // GIMBAL_MUT
 #include "obs/obs.h"
 #include "obs/schema.h"
 #include "sim/simulator.h"
@@ -64,9 +66,16 @@ class SsdHealthMachine {
 
   // Attempt the transition; returns true if the state actually changed.
   bool Set(SsdHealth to, Tick now) {
-    if (to == health_ || !ValidTransition(health_, to)) return false;
+    if (to == health_) return false;
+    if (!GIMBAL_MUT(kHealthSkip) && !ValidTransition(health_, to)) {
+      return false;
+    }
     const SsdHealth from = health_;
     health_ = to;
+    if (chk_) {
+      chk_->OnHealthTransition(ssd_index_, static_cast<int>(from),
+                               static_cast<int>(to));
+    }
     if (obs_) {
       m_health_->Set(static_cast<double>(static_cast<int>(to)));
       obs_->tracer.Instant(now, obs::schema::kEvFaultHealth,
@@ -87,9 +96,17 @@ class SsdHealthMachine {
     m_health_->Set(static_cast<double>(static_cast<int>(health_)));
   }
 
+  // Invariant hook: every applied transition is re-validated against the
+  // checker's independent legality table (docs/TESTING.md).
+  void AttachChecker(check::InvariantChecker* chk, int ssd_index) {
+    chk_ = chk;
+    ssd_index_ = ssd_index;
+  }
+
  private:
   SsdHealth health_ = SsdHealth::kHealthy;
   obs::Observability* obs_ = nullptr;
+  check::InvariantChecker* chk_ = nullptr;
   int ssd_index_ = -1;
   obs::Gauge* m_health_ = nullptr;
 };

@@ -27,6 +27,14 @@ fabric::ThrottleMode ThrottleFor(Scheme s) {
 Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg), sim_(cfg_.queue_impl) {
   if (cfg_.obs && cfg_.run_label.empty()) cfg_.run_label = ToString(cfg_.scheme);
   if (cfg_.obs) cfg_.obs->metrics.set_run(cfg_.run_label);
+  if (cfg_.check) {
+    check_ = cfg_.check;
+  } else {
+    owned_check_ = std::make_unique<check::InvariantChecker>();
+    check_ = owned_check_.get();
+  }
+  check_->AttachSim(&sim_);
+  if (cfg_.obs) check_->AttachTracer(&cfg_.obs->tracer);
   net_ = std::make_unique<fabric::Network>(sim_, cfg_.net);
   faults_ =
       std::make_unique<fault::FaultInjector>(sim_, cfg_.num_ssds,
@@ -34,9 +42,11 @@ Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg), sim_(cfg_.queue_impl) {
   faults_->AttachObservability(cfg_.obs);
   const bool faulted = !cfg_.faults.empty();
   if (!cfg_.faults.link_flaps.empty()) net_->set_fault_injector(faults_.get());
+  faults_->AttachChecker(check_);
   target_ = std::make_unique<fabric::Target>(sim_, *net_, cfg_.target);
   // Attach before AddPipeline so policies resolve handles as they appear.
   target_->AttachObservability(cfg_.obs);
+  target_->AttachChecker(check_);
   for (int i = 0; i < cfg_.num_ssds; ++i) {
     if (cfg_.use_null_device) {
       devices_.push_back(std::make_unique<ssd::NullDevice>(sim_));
@@ -103,6 +113,7 @@ fabric::Initiator& Testbed::AddInitiator(
       sim_, *net_, *target_, ssd_index, next_tenant_++,
       throttle.value_or(ThrottleFor(cfg_.scheme)), cfg_.parda, cfg_.retry));
   initiators_.back()->AttachObservability(cfg_.obs);
+  initiators_.back()->AttachChecker(check_);
   return *initiators_.back();
 }
 

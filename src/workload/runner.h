@@ -15,6 +15,7 @@
 #include "baselines/parda_policy.h"
 #include "baselines/reflex_policy.h"
 #include "baselines/timeslice_policy.h"
+#include "check/invariants.h"
 #include "core/gimbal_switch.h"
 #include "fabric/initiator.h"
 #include "fabric/network.h"
@@ -77,6 +78,12 @@ struct TestbedConfig {
   // warmup so metric totals cover exactly the measurement window.
   obs::Observability* obs = nullptr;
   std::string run_label;
+
+  // Online invariant checker (docs/TESTING.md). When null the testbed owns
+  // a fail-fast checker of its own, so every testbed — in tests and quick
+  // figure runs alike — is verified at every transition. Pass an external
+  // checker to inspect violations without aborting (fail_fast=false).
+  check::InvariantChecker* check = nullptr;
 };
 
 class Testbed {
@@ -95,6 +102,9 @@ class Testbed {
   // The fault injector driving this testbed (always present; inert when
   // the plan is empty and no crash is scheduled).
   fault::FaultInjector& faults() { return *faults_; }
+  // The invariant checker attached to this testbed (config-supplied or the
+  // testbed's own fail-fast instance).
+  check::InvariantChecker& checker() { return *check_; }
   const TestbedConfig& config() const { return cfg_; }
 
   // Create a new tenant attached to SSD `ssd_index`; throttle mode follows
@@ -125,6 +135,10 @@ class Testbed {
 
   TestbedConfig cfg_;
   sim::Simulator sim_;
+  // Owned checker when cfg.check is null; declared before the components
+  // it observes so it outlives their destructors.
+  std::unique_ptr<check::InvariantChecker> owned_check_;
+  check::InvariantChecker* check_ = nullptr;
   std::unique_ptr<fabric::Network> net_;
   std::unique_ptr<fault::FaultInjector> faults_;
   std::unique_ptr<fabric::Target> target_;
