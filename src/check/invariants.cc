@@ -87,6 +87,7 @@ void InvariantChecker::Violate(const char* invariant, TenantId tenant,
 
 void InvariantChecker::OnClientAdmit(TenantId tenant, int ssd,
                                      size_t queued) {
+  const LockGuard lock(*this);
   ++checks_run_;
   ClientLedger& c = Client(tenant, ssd);
   ++c.admitted;
@@ -105,6 +106,7 @@ void InvariantChecker::OnClientAdmit(TenantId tenant, int ssd,
 void InvariantChecker::OnClientIssue(TenantId tenant, int ssd, size_t queued,
                                      uint32_t inflight, uint32_t credit_total,
                                      bool credit_throttled) {
+  const LockGuard lock(*this);
   ++checks_run_;
   ClientLedger& c = Client(tenant, ssd);
   ++c.issued;
@@ -139,6 +141,7 @@ void InvariantChecker::OnClientIssue(TenantId tenant, int ssd, size_t queued,
 
 void InvariantChecker::OnClientTerminal(TenantId tenant, int ssd, bool ok,
                                         bool was_issued, uint32_t inflight) {
+  const LockGuard lock(*this);
   ++checks_run_;
   (void)ok;
   ClientLedger& c = Client(tenant, ssd);
@@ -166,6 +169,7 @@ void InvariantChecker::OnClientTerminal(TenantId tenant, int ssd, bool ok,
 
 void InvariantChecker::OnClientCreditUpdate(TenantId tenant, int ssd,
                                             uint32_t credit) {
+  const LockGuard lock(*this);
   ++checks_run_;
   ClientLedger& c = Client(tenant, ssd);
   if (credit > c.max_credit_granted) {
@@ -179,11 +183,13 @@ void InvariantChecker::OnClientCreditUpdate(TenantId tenant, int ssd,
 // --- Target / policy -------------------------------------------------------
 
 void InvariantChecker::OnTargetAdmit(TenantId tenant, int ssd) {
+  const LockGuard lock(*this);
   ++checks_run_;
   ++Policy(tenant, ssd).target_admitted;
 }
 
 void InvariantChecker::OnPolicyDispatch(TenantId tenant, int ssd) {
+  const LockGuard lock(*this);
   ++checks_run_;
   PolicyLedger& p = Policy(tenant, ssd);
   ++p.dispatched;
@@ -195,6 +201,7 @@ void InvariantChecker::OnPolicyDispatch(TenantId tenant, int ssd) {
 }
 
 void InvariantChecker::OnDeviceReturn(TenantId tenant, int ssd, bool ok) {
+  const LockGuard lock(*this);
   ++checks_run_;
   (void)ok;
   PolicyLedger& p = Policy(tenant, ssd);
@@ -207,6 +214,7 @@ void InvariantChecker::OnDeviceReturn(TenantId tenant, int ssd, bool ok) {
 }
 
 void InvariantChecker::OnPolicyDeliver(TenantId tenant, int ssd, bool ok) {
+  const LockGuard lock(*this);
   ++checks_run_;
   (void)ok;
   PolicyLedger& p = Policy(tenant, ssd);
@@ -225,6 +233,7 @@ void InvariantChecker::OnPolicyDeliver(TenantId tenant, int ssd, bool ok) {
 }
 
 void InvariantChecker::OnPolicyFail(TenantId tenant, int ssd) {
+  const LockGuard lock(*this);
   ++checks_run_;
   PolicyLedger& p = Policy(tenant, ssd);
   ++p.failed;
@@ -239,6 +248,7 @@ void InvariantChecker::OnPolicyFail(TenantId tenant, int ssd) {
 
 void InvariantChecker::ConfigureDrr(int ssd, uint64_t quantum_bytes,
                                     uint64_t slot_bytes, double cost_worst) {
+  const LockGuard lock(*this);
   DrrState& d = drr_[ssd];
   d.quantum = quantum_bytes;
   d.max_weighted =
@@ -247,6 +257,7 @@ void InvariantChecker::ConfigureDrr(int ssd, uint64_t quantum_bytes,
 
 void InvariantChecker::OnCreditGrant(TenantId tenant, int ssd,
                                      uint32_t credit) {
+  const LockGuard lock(*this);
   ++checks_run_;
   ClientLedger& c = Client(tenant, ssd);
   c.max_credit_granted = std::max(c.max_credit_granted, credit);
@@ -254,20 +265,36 @@ void InvariantChecker::OnCreditGrant(TenantId tenant, int ssd,
 
 void InvariantChecker::OnDrrQuantum(TenantId tenant, int ssd,
                                     uint64_t deficit_before,
-                                    uint64_t deficit_after, double weight) {
+                                    uint64_t deficit_after, double weight,
+                                    uint64_t rounds, double frac_before,
+                                    double frac_after) {
+  const LockGuard lock(*this);
   ++checks_run_;
   DrrState& d = drr_[ssd];
-  // §3.5 Algorithm 2: a new round grants exactly weight x quantum. Same
-  // double->uint64 arithmetic as the scheduler, so equality is exact.
-  const uint64_t expected = static_cast<uint64_t>(
-      weight * static_cast<double>(d.quantum));
+  // §3.5 Algorithm 2 with fractional carry: `rounds` rounds grant
+  // floor(rounds x weight x quantum + carry) whole bytes and the remainder
+  // stays in the carry. Same double arithmetic as the scheduler
+  // (GrantRounds), so equality is exact. The carry itself must stay in
+  // [0, 1) — a drifting carry would mint or destroy service.
+  if (frac_before < 0.0 || frac_before >= 1.0) {
+    Violate("drr.quantum.carry", tenant, ssd,
+            Format("carry %.9f outside [0,1) before grant", frac_before));
+  }
+  const double step = weight * static_cast<double>(d.quantum);
+  const double total = static_cast<double>(rounds) * step + frac_before;
+  const uint64_t expected = static_cast<uint64_t>(total);
+  const double expected_frac = total - static_cast<double>(expected);
   if (deficit_after < deficit_before ||
       deficit_after - deficit_before != expected) {
     Violate("drr.quantum.grant", tenant, ssd,
-            Format("grant=%" PRIu64 " but weight=%.3f x quantum=%" PRIu64
-                   " = %" PRIu64,
-                   deficit_after - deficit_before, weight, d.quantum,
+            Format("grant=%" PRIu64 " but rounds=%" PRIu64
+                   " x weight=%.3f x quantum=%" PRIu64 " + carry = %" PRIu64,
+                   deficit_after - deficit_before, rounds, weight, d.quantum,
                    expected));
+  } else if (frac_after != expected_frac) {
+    Violate("drr.quantum.carry", tenant, ssd,
+            Format("carry after grant %.9f, expected %.9f", frac_after,
+                   expected_frac));
   }
   // A deficit only accumulates while it cannot cover the head-of-line IO,
   // so right after a grant it is bounded by one grant plus the costliest
@@ -280,12 +307,23 @@ void InvariantChecker::OnDrrQuantum(TenantId tenant, int ssd,
   }
 }
 
+void InvariantChecker::OnDrrPassExhausted(int ssd, uint64_t passes,
+                                          uint64_t active, uint64_t queued) {
+  const LockGuard lock(*this);
+  ++checks_run_;
+  Violate("drr.pass.exhausted", 0, ssd,
+          Format("Dequeue gave up after %" PRIu64 " passes with %" PRIu64
+                 " active tenants and %" PRIu64 " queued IOs",
+                 passes, active, queued));
+}
+
 void InvariantChecker::ResetSkewBaselines(DrrState& d) {
   for (auto& [tenant, base] : d.base) base = d.service[tenant];
 }
 
 void InvariantChecker::OnDrrBacklog(TenantId tenant, int ssd,
                                     bool backlogged) {
+  const LockGuard lock(*this);
   DrrState& d = drr_[ssd];
   const bool member = d.base.count(tenant) != 0;
   if (backlogged == member) return;  // idempotent: no membership change
@@ -301,6 +339,7 @@ void InvariantChecker::OnDrrBacklog(TenantId tenant, int ssd,
 
 void InvariantChecker::OnDrrServe(TenantId tenant, int ssd,
                                   uint64_t weighted_bytes, double weight) {
+  const LockGuard lock(*this);
   ++checks_run_;
   DrrState& d = drr_[ssd];
   if (weight <= 0.0) weight = 1.0;
@@ -327,6 +366,7 @@ void InvariantChecker::OnDrrServe(TenantId tenant, int ssd,
 
 void InvariantChecker::OnSlotOpen(TenantId tenant, int ssd,
                                   uint32_t slots_in_use, uint32_t allotted) {
+  const LockGuard lock(*this);
   ++checks_run_;
   if (slots_in_use > allotted) {
     Violate("slot.occupancy", tenant, ssd,
@@ -341,6 +381,7 @@ void InvariantChecker::OnBucketUpdate(int ssd, Tick elapsed,
                                       double target_rate, double read_before,
                                       double write_before, double read_after,
                                       double write_after, double cap) {
+  const LockGuard lock(*this);
   ++checks_run_;
   const double before = read_before + write_before;
   const double after = read_after + write_after;
@@ -367,6 +408,7 @@ void InvariantChecker::OnBucketUpdate(int ssd, Tick elapsed,
 void InvariantChecker::OnBucketConsume(int ssd, bool is_read, uint64_t bytes,
                                        double before, double after,
                                        double cap) {
+  const LockGuard lock(*this);
   ++checks_run_;
   (void)cap;
   const double delta = before - after;
@@ -388,6 +430,7 @@ void InvariantChecker::OnBucketConsume(int ssd, bool is_read, uint64_t bytes,
 void InvariantChecker::OnLatencySample(int ssd, bool is_read, double ewma,
                                        double threshold, double thresh_min,
                                        double thresh_max, int state) {
+  const LockGuard lock(*this);
   ++checks_run_;
   const char* dir = is_read ? "read" : "write";
   if (ewma < 0.0) {
@@ -417,6 +460,7 @@ void InvariantChecker::OnLatencySample(int ssd, bool is_read, double ewma,
 // --- SSD health ------------------------------------------------------------
 
 void InvariantChecker::OnHealthTransition(int ssd, int from, int to) {
+  const LockGuard lock(*this);
   ++checks_run_;
   if (!LegalHealthTransition(from, to)) {
     static const char* kNames[] = {"healthy", "degraded", "failed",
@@ -433,6 +477,7 @@ void InvariantChecker::OnHealthTransition(int ssd, int from, int to) {
 // --- End-of-run ------------------------------------------------------------
 
 bool InvariantChecker::CheckDrained() {
+  const LockGuard lock(*this);
   const size_t before = violations_.size();
   for (const auto& [key, c] : clients_) {
     const auto tenant = static_cast<TenantId>(key >> 16);

@@ -41,6 +41,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -48,6 +49,7 @@
 #include "common/time.h"
 #include "nvme/types.h"
 #include "obs/trace.h"
+#include "sim/shard.h"
 #include "sim/simulator.h"
 
 namespace gimbal::check {
@@ -61,6 +63,15 @@ class InvariantChecker {
   void AttachSim(const sim::Simulator* sim) { sim_ = sim; }
   // Trace-context snippets in fail-fast reports; null is allowed.
   void AttachTracer(const obs::EventTracer* tracer) { tracer_ = tracer; }
+
+  // Sharded testbeds with a worker pool fire hooks from several shard
+  // threads; enable the checker-wide mutex before the first epoch runs.
+  // Serial runs leave it off and pay nothing. The epoch barrier orders
+  // every cross-shard dependency (a credit granted in epoch k is read by
+  // the client no earlier than epoch k+1), and clean-run checker state
+  // never feeds back into the schedule, so lock timing cannot perturb
+  // determinism.
+  void SetConcurrent(bool on) { concurrent_ = on; }
 
   struct Violation {
     Tick when = 0;
@@ -105,9 +116,18 @@ class InvariantChecker {
                     double cost_worst);
   // The switch granted a credit (piggybacked on a completion).
   void OnCreditGrant(TenantId tenant, int ssd, uint32_t credit);
-  // A new DRR round granted a quantum: deficit before/after the grant.
+  // A DRR grant of `rounds` quanta: deficit and fractional carry
+  // before/after. The grant must equal floor(rounds x weight x quantum +
+  // carry) with the remainder carried — verified with the scheduler's own
+  // arithmetic, so equality is exact.
   void OnDrrQuantum(TenantId tenant, int ssd, uint64_t deficit_before,
-                    uint64_t deficit_after, double weight);
+                    uint64_t deficit_after, double weight, uint64_t rounds,
+                    double frac_before, double frac_after);
+  // Dequeue exhausted its pass budget with schedulable work remaining —
+  // always a violation (the scheduler must make progress in bounded
+  // rounds).
+  void OnDrrPassExhausted(int ssd, uint64_t passes, uint64_t active,
+                          uint64_t queued);
   // A request was served (popped) by the DRR.
   void OnDrrServe(TenantId tenant, int ssd, uint64_t weighted_bytes,
                   double weight);
@@ -182,12 +202,31 @@ class InvariantChecker {
     return policies_[Key(tenant, ssd)];
   }
 
-  Tick now() const { return sim_ ? sim_->now() : 0; }
+  // The clock of the shard executing the current hook; falls back to the
+  // attached (client) simulator outside shard execution.
+  Tick now() const {
+    if (const sim::Simulator* s = sim::ShardedEngine::CurrentSim()) {
+      return s->now();
+    }
+    return sim_ ? sim_->now() : 0;
+  }
   void Violate(const char* invariant, TenantId tenant, int ssd,
                std::string detail);
   void ResetSkewBaselines(DrrState& d);
 
+  struct LockGuard {
+    explicit LockGuard(const InvariantChecker& c) : c(c) {
+      if (c.concurrent_) c.mu_.lock();
+    }
+    ~LockGuard() {
+      if (c.concurrent_) c.mu_.unlock();
+    }
+    const InvariantChecker& c;
+  };
+
   bool fail_fast_;
+  bool concurrent_ = false;
+  mutable std::mutex mu_;
   const sim::Simulator* sim_ = nullptr;
   const obs::EventTracer* tracer_ = nullptr;
   uint64_t checks_run_ = 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/schema.h"
+
 namespace gimbal::core {
 
 TenantState& DrrScheduler::GetTenant(TenantId id) {
@@ -42,6 +44,69 @@ bool DrrScheduler::OpenSlot(TenantState& t) {
   return true;
 }
 
+void DrrScheduler::AttachObservability(obs::Observability* obs,
+                                       int ssd_index) {
+  if (!obs) {
+    m_pass_exhausted_ = nullptr;
+    m_orphan_completions_ = nullptr;
+    return;
+  }
+  const obs::Labels l = obs::Labels::Ssd(ssd_index);
+  m_pass_exhausted_ = &obs->metrics.GetCounter(obs::schema::kDrrPassExhausted, l);
+  m_orphan_completions_ =
+      &obs->metrics.GetCounter(obs::schema::kDrrOrphanCompletions, l);
+}
+
+void DrrScheduler::GrantRounds(TenantState& t, uint64_t rounds) {
+  const uint64_t deficit_before = t.deficit;
+  const double frac_before = t.deficit_frac;
+  double step = TenantWeight(t.id()) * static_cast<double>(params_.drr_quantum);
+  if (GIMBAL_MUT(kDrrSkew) && t.id() % 2 == 0) step *= 4.0;
+  // Carry the sub-byte remainder across rounds: truncating each grant
+  // independently starves any tenant with weight x quantum < 1 (its grant
+  // rounds to zero forever). The checker replays the same arithmetic, so
+  // deficits and carries must match it bit-for-bit.
+  const double total = static_cast<double>(rounds) * step + t.deficit_frac;
+  const uint64_t whole = static_cast<uint64_t>(total);
+  t.deficit_frac = total - static_cast<double>(whole);
+  t.deficit += whole;
+  if (chk_) {
+    chk_->OnDrrQuantum(t.id(), ssd_index_, deficit_before, t.deficit,
+                       TenantWeight(t.id()), rounds, frac_before,
+                       t.deficit_frac);
+  }
+}
+
+void DrrScheduler::BoostStarvedRound() {
+  uint64_t best = 0;
+  bool found = false;
+  for (TenantState* t : active_) {
+    const IoRequest& head = t->Peek();
+    const uint64_t weighted =
+        cost_.WeightedBytes(head.type == IoType::kWrite, head.length);
+    if (t->deficit >= weighted) return;  // someone can serve already
+    const double step =
+        TenantWeight(t->id()) * static_cast<double>(params_.drr_quantum);
+    if (step <= 0) continue;
+    const double shortfall =
+        static_cast<double>(weighted - t->deficit) - t->deficit_frac;
+    // +2: ceil, plus one spare round so carry rounding cannot leave the
+    // winner one byte short and trigger another full rotation.
+    const double rounds_d = shortfall <= 0 ? 1.0 : shortfall / step + 2.0;
+    if (rounds_d > 1e15) continue;  // degenerate weight; let kMaxPasses report
+    const uint64_t rounds = static_cast<uint64_t>(rounds_d);
+    if (!found || rounds < best) {
+      best = rounds;
+      found = true;
+    }
+  }
+  if (!found || best <= 1) return;  // the single-round path covers it
+  for (TenantState* t : active_) {
+    GrantRounds(*t, best);
+    t->new_round = false;
+  }
+}
+
 void DrrScheduler::Enqueue(const IoRequest& req) {
   TenantState& t = GetTenant(req.tenant);
   t.Enqueue(req);
@@ -60,38 +125,35 @@ std::optional<DrrScheduler::Scheduled> DrrScheduler::Dequeue() {
   // tenant (idle/deferred) or raises every remaining tenant's deficit by a
   // quantum, and weighted sizes are bounded by slot_bytes x worst cost.
   constexpr int kMaxPasses = 100000;
+  size_t rotations = 0;  // consecutive rotations with no serve/removal
   for (int i = 0; i < kMaxPasses && !active_.empty(); ++i) {
     TenantState* t = active_.front();
     if (!t->HasQueued()) {
       // Idle tenant leaves the round and forfeits its deficit.
       t->deficit = 0;
+      t->deficit_frac = 0;
       t->in_active = false;
       t->DropEmptyOpenSlot();
       active_.pop_front();
       UpdateBusy(*t);
       NotifyBacklog(*t);
+      rotations = 0;
       continue;
     }
     if (!t->HasOpenSlot() && !OpenSlot(*t)) {
       // Out of virtual slots: move to deferred, zero the deficit
       // (Algorithm 2 / §3.5).
       t->deficit = 0;
+      t->deficit_frac = 0;
       t->in_active = false;
       t->in_deferred = true;
       active_.pop_front();
       NotifyBacklog(*t);
+      rotations = 0;
       continue;
     }
     if (t->new_round) {
-      const uint64_t deficit_before = t->deficit;
-      double grant =
-          TenantWeight(t->id()) * static_cast<double>(params_.drr_quantum);
-      if (GIMBAL_MUT(kDrrSkew) && t->id() % 2 == 0) grant *= 4.0;
-      t->deficit += static_cast<uint64_t>(grant);
-      if (chk_) {
-        chk_->OnDrrQuantum(t->id(), ssd_index_, deficit_before, t->deficit,
-                           TenantWeight(t->id()));
-      }
+      GrantRounds(*t, 1);
       t->new_round = false;
     }
     const IoRequest& head = t->Peek();
@@ -103,6 +165,13 @@ std::optional<DrrScheduler::Scheduled> DrrScheduler::Dequeue() {
       active_.pop_front();
       t->in_active = false;
       Activate(*t);
+      if (++rotations >= active_.size()) {
+        // A full rotation granted everyone a quantum yet served nothing:
+        // jump everyone forward by the same whole-round count instead of
+        // spinning one byte-fraction at a time.
+        BoostStarvedRound();
+        rotations = 0;
+      }
       continue;
     }
     Scheduled out;
@@ -117,6 +186,7 @@ std::optional<DrrScheduler::Scheduled> DrrScheduler::Dequeue() {
     // immediately so it cannot monopolize the next dequeue.
     if (!t->HasOpenSlot() && !OpenSlot(*t)) {
       t->deficit = 0;
+      t->deficit_frac = 0;
       t->in_active = false;
       t->in_deferred = true;
       active_.pop_front();
@@ -124,6 +194,18 @@ std::optional<DrrScheduler::Scheduled> DrrScheduler::Dequeue() {
     UpdateBusy(*t);
     NotifyBacklog(*t);
     return out;
+  }
+  if (!active_.empty()) {
+    // Schedulable work remains but kMaxPasses rounds could not serve it —
+    // a scheduler bug by construction (BoostStarvedRound bounds the rounds
+    // any finite weight needs). Report loudly instead of stalling silently.
+    ++pass_exhausted_;
+    if (m_pass_exhausted_) m_pass_exhausted_->Add(1);
+    if (chk_) {
+      chk_->OnDrrPassExhausted(ssd_index_, kMaxPasses,
+                               static_cast<uint64_t>(active_.size()),
+                               queued_total_);
+    }
   }
   return std::nullopt;
 }
@@ -137,6 +219,7 @@ std::vector<IoRequest> DrrScheduler::Disconnect(TenantId tenant) {
   t.in_active = false;
   t.in_deferred = false;
   t.deficit = 0;
+  t.deficit_frac = 0;
   std::vector<IoRequest> dropped = t.DrainQueues();
   queued_total_ -= static_cast<uint32_t>(dropped.size());
   t.DropEmptyOpenSlot();
@@ -160,6 +243,7 @@ std::vector<IoRequest> DrrScheduler::DrainAll() {
     dropped.insert(dropped.end(), d.begin(), d.end());
     t.DropEmptyOpenSlot();
     t.deficit = 0;
+    t.deficit_frac = 0;
     t.in_active = false;
     t.in_deferred = false;
     UpdateBusy(t);
@@ -176,7 +260,17 @@ std::vector<IoRequest> DrrScheduler::DrainAll() {
 }
 
 void DrrScheduler::OnCompletion(TenantId tenant, uint64_t slot_id) {
-  TenantState& t = GetTenant(tenant);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    // Late or duplicate completion for a tenant whose state was already
+    // reaped (Disconnect + last inflight drained). Creating state here
+    // would resurrect a ghost entry that nothing ever erases again — a
+    // leak in tenants_/busy_flags_ under tenant churn. Drop it, count it.
+    ++orphan_completions_;
+    if (m_orphan_completions_) m_orphan_completions_->Add(1);
+    return;
+  }
+  TenantState& t = *it->second;
   t.OnCompletion(slot_id);
   ++t.ios_completed;
   if (!t.HasQueued()) t.ReapQuiescentOpenSlot();

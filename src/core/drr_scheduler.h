@@ -22,6 +22,7 @@
 #include "core/virtual_slot.h"
 #include "core/write_cost.h"
 #include "nvme/types.h"
+#include "obs/obs.h"
 
 namespace gimbal::core {
 
@@ -86,6 +87,15 @@ class DrrScheduler {
   void SetTenantWeight(TenantId id, double weight);
   double TenantWeight(TenantId id) const;
 
+  // Robustness counters (also exported as drr.* metrics when observed):
+  // Dequeue giving up after kMaxPasses with schedulable work remaining, and
+  // completions dropped because their tenant was already reaped.
+  uint64_t pass_exhausted() const { return pass_exhausted_; }
+  uint64_t orphan_completions() const { return orphan_completions_; }
+
+  // Attach metrics sinks for the robustness counters. Null detaches.
+  void AttachObservability(obs::Observability* obs, int ssd_index);
+
   // Invariant hooks: quantum grants, serves, slot opens and backlog
   // transitions (docs/TESTING.md). Null detaches.
   void AttachChecker(check::InvariantChecker* chk, int ssd_index) {
@@ -100,6 +110,15 @@ class DrrScheduler {
  private:
   void Activate(TenantState& t);
   void UpdateBusy(TenantState& t);
+  // Grant `rounds` DRR quanta to `t` at once (weight x quantum each),
+  // carrying the fractional remainder, and report to the checker.
+  void GrantRounds(TenantState& t, uint64_t rounds);
+  // Called when a full rotation of the active list produced no service:
+  // advance every active tenant by the minimum number of whole rounds that
+  // lets at least one of them cover its head-of-line IO. Preserves exact
+  // DRR proportions (everyone advances the same round count) while keeping
+  // Dequeue O(active) even for weights with weight x quantum << 1.
+  void BoostStarvedRound();
   // TryOpenSlot under the current allotment, reporting the new occupancy
   // to the checker.
   bool OpenSlot(TenantState& t);
@@ -123,8 +142,12 @@ class DrrScheduler {
   std::deque<TenantState*> active_;
   uint32_t busy_tenants_ = 0;
   uint32_t queued_total_ = 0;
+  uint64_t pass_exhausted_ = 0;
+  uint64_t orphan_completions_ = 0;
   check::InvariantChecker* chk_ = nullptr;
   int ssd_index_ = -1;
+  obs::Counter* m_pass_exhausted_ = nullptr;
+  obs::Counter* m_orphan_completions_ = nullptr;
 };
 
 }  // namespace gimbal::core

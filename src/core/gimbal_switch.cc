@@ -15,6 +15,7 @@ void GimbalSwitch::AttachObservability(obs::Observability* obs,
   PolicyBase::AttachObservability(obs, ssd_index);
   rate_.AttachObservability(obs, ssd_index, &sim_);
   write_cost_.AttachObservability(obs, ssd_index, &sim_);
+  scheduler_.AttachObservability(obs, ssd_index);
   if (!obs) {
     m_congestion_signals_ = nullptr;
     m_overload_events_ = nullptr;

@@ -87,13 +87,12 @@ void RateController::AttachObservability(obs::Observability* obs,
 
 Tick RateController::PacingDelay(IoType type, uint64_t bytes,
                                  double write_cost) const {
-  (void)write_cost;
-  // Optimistic estimate: when the sibling bucket is at capacity its share
-  // spills over (Algorithm 4), so tokens can arrive at up to the full
-  // target rate. If the spill does not materialize the pump simply pokes
-  // again; underestimating the wait costs a few events, overestimating it
-  // would throttle the pipeline to the per-bucket share.
-  const Tick eta = bucket_.RefillEta(type, bytes, target_rate_);
+  // The bucket models the Algorithm-4 split itself: its ETA runs at the
+  // per-bucket share until the sibling bucket fills and spills, then at
+  // the full target rate — so the poke lands when the tokens actually
+  // exist instead of up to wc x early. Target rate and write cost can
+  // drift while waiting; the pump simply re-polls if the estimate aged.
+  const Tick eta = bucket_.RefillEta(type, bytes, target_rate_, write_cost);
   if (eta == DualTokenBucket::kNever) return Milliseconds(1);
   return std::min<Tick>(eta, Milliseconds(10));
 }

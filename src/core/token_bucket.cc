@@ -54,13 +54,38 @@ void DualTokenBucket::DiscardTokens() {
 }
 
 Tick DualTokenBucket::RefillEta(IoType type, uint64_t bytes,
-                                double fill_rate) const {
+                                double fill_rate, double write_cost) const {
   const double need = static_cast<double>(bytes) - tokens(type);
   if (need <= 0) return 0;
   if (fill_rate <= 0) return kNever;
+  if (write_cost <= 0) write_cost = 1.0;
+  // Two-segment estimate mirroring Update(): until the sibling bucket
+  // reaches capacity this bucket earns only its Algorithm-4 share of the
+  // fill rate; once the sibling is full its share spills over and tokens
+  // arrive at the full rate. Using the unsplit rate throughout would fire
+  // a write-side poke up to wc x too early and busy-repoll.
+  const bool is_read = type == IoType::kRead;
+  const double own_rate = fill_rate * (is_read ? write_cost : 1.0) /
+                          (1.0 + write_cost);
+  const double sib_rate = fill_rate - own_rate;
+  const double sib_room =
+      cap_ - tokens(is_read ? IoType::kWrite : IoType::kRead);
+  double eta_sec;
+  if (sib_room <= 0) {
+    // Sibling already at capacity: its share spills immediately.
+    eta_sec = need / fill_rate;
+  } else if (sib_rate <= 0 || own_rate <= 0) {
+    // Degenerate split: everything flows into one bucket.
+    eta_sec = need / (own_rate > 0 ? own_rate : fill_rate);
+  } else {
+    const double spill_sec = sib_room / sib_rate;
+    const double gained = own_rate * spill_sec;
+    eta_sec = need <= gained ? need / own_rate
+                             : spill_sec + (need - gained) / fill_rate;
+  }
   // +1 tick: round up so the poke never fires one tick short of the tokens
   // it waited for.
-  return static_cast<Tick>(need * kNsPerSec / fill_rate) + 1;
+  return static_cast<Tick>(eta_sec * kNsPerSec) + 1;
 }
 
 }  // namespace gimbal::core

@@ -37,11 +37,16 @@ class DualTokenBucket {
   void DiscardTokens();
 
   // Simulated time until the bucket for `type` could cover `bytes` when
-  // tokens arrive at `fill_rate` bytes/sec. Returns 0 when the bucket
-  // already covers it and kNever when fill_rate is non-positive (the
-  // caller picks a retry policy; the bucket cannot).
+  // tokens arrive at `fill_rate` bytes/sec split by `write_cost` per
+  // Algorithm 4: the bucket refills at its own share (wc/(1+wc) for reads,
+  // 1/(1+wc) for writes) until the sibling bucket hits capacity, after
+  // which the sibling's share spills over and tokens arrive at the full
+  // rate. Returns 0 when the bucket already covers it and kNever when
+  // fill_rate is non-positive (the caller picks a retry policy; the
+  // bucket cannot).
   static constexpr Tick kNever = -1;
-  Tick RefillEta(IoType type, uint64_t bytes, double fill_rate) const;
+  Tick RefillEta(IoType type, uint64_t bytes, double fill_rate,
+                 double write_cost) const;
 
   double tokens(IoType type) const {
     return type == IoType::kRead ? read_tokens_ : write_tokens_;

@@ -107,6 +107,10 @@ class TenantState {
 
   // --- DRR state -------------------------------------------------------------
   uint64_t deficit = 0;
+  // Sub-byte remainder of the quantum grant, carried across rounds so a
+  // weight small enough that weight x quantum < 1 byte still accumulates
+  // service instead of truncating to a zero grant forever.
+  double deficit_frac = 0.0;
   bool in_active = false;
   bool in_deferred = false;
   bool new_round = true;  // quantum refresh pending at head of round

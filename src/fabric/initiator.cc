@@ -28,7 +28,7 @@ void Initiator::KeepaliveTick() {
   // target's session reaper detects after a Crash(). Shutdown/Crash cancel
   // the armed timer, so this guard only covers a same-tick race.
   if (shutdown_) return;
-  net_.Send(Direction::kClientToTarget, kCapsuleBytes, [this]() {
+  net_.Send(Direction::kClientToTarget, pipeline_, kCapsuleBytes, [this]() {
     target_.OnKeepaliveCapsule(pipeline_, tenant_);
   });
   keepalive_timer_ =
@@ -142,7 +142,7 @@ void Initiator::Shutdown() {
   }
   // The disconnect capsule trails any already-issued commands (the fabric
   // is FIFO per direction), so the target sees them first.
-  net_.Send(Direction::kClientToTarget, kCapsuleBytes, [this]() {
+  net_.Send(Direction::kClientToTarget, pipeline_, kCapsuleBytes, [this]() {
     target_.OnDisconnectCapsule(pipeline_, tenant_);
   });
 }
@@ -181,7 +181,7 @@ void Initiator::Crash() {
 }
 
 void Initiator::Trim(uint64_t offset, uint32_t length) {
-  net_.Send(Direction::kClientToTarget, kCapsuleBytes,
+  net_.Send(Direction::kClientToTarget, pipeline_, kCapsuleBytes,
             [this, offset, length]() {
               target_.OnTrimCapsule(pipeline_, offset, length);
             });
@@ -195,7 +195,7 @@ void Initiator::SendCommand(const IoRequest& req) {
   if (req.type == IoType::kWrite && req.length <= kInlineWriteBytes) {
     capsule += req.length;
   }
-  net_.Send(Direction::kClientToTarget, capsule, [this, req]() {
+  net_.Send(Direction::kClientToTarget, pipeline_, capsule, [this, req]() {
     target_.OnCommandCapsule(pipeline_, req);
   });
 }

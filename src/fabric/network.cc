@@ -1,2 +1,75 @@
-// Network is header-only; see network.h.
 #include "fabric/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gimbal::fabric {
+
+void Network::BufferSend(Direction dir, int ssd, uint64_t bytes,
+                         sim::EventFn deliver) {
+  int src = sim::ShardedEngine::CurrentShard();
+  Tick when;
+  if (src < 0) {
+    // Control context (e.g. a Shutdown() between runs): attribute to the
+    // client shard at its current time.
+    src = 0;
+    when = client_sim_->now();
+  } else {
+    when = sim::ShardedEngine::CurrentSim()->now();
+  }
+  assert(ssd >= 0 && ssd < static_cast<int>(ssd_sims_.size()));
+  sim::Simulator* dest = dir == Direction::kClientToTarget
+                             ? ssd_sims_[static_cast<size_t>(ssd)]
+                             : client_sim_;
+  outbox_[static_cast<size_t>(src)].push_back(
+      PendingSend{when, dir, bytes, dest, std::move(deliver)});
+}
+
+size_t Network::ReplayPending() {
+  size_t total = 0;
+  for (const auto& box : outbox_) total += box.size();
+  if (total == 0) return 0;
+  // Canonical order: (send time, source shard, per-shard issue order).
+  // Each outbox is already time-sorted — a shard's clock is monotone within
+  // an epoch — so concatenating in shard order and stable-sorting by time
+  // alone yields exactly that order, independent of worker-thread count.
+  std::vector<PendingSend> batch;
+  batch.reserve(total);
+  for (auto& box : outbox_) {
+    for (PendingSend& p : box) batch.push_back(std::move(p));
+    box.clear();
+  }
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const PendingSend& a, const PendingSend& b) {
+                     return a.when < b.when;
+                   });
+  size_t replayed = 0;
+  for (PendingSend& p : batch) {
+    Tick fault_delay = 0;
+    if (faults_) {
+      // Link-fault draws happen here, in canonical replay order on the
+      // control thread, so the fault RNG stream is thread-count invariant.
+      const fault::FaultInjector::LinkFault lf = faults_->OnLinkMessage(p.when);
+      if (lf.drop) {
+        ++messages_dropped_;
+        continue;
+      }
+      fault_delay = lf.extra_delay;
+    }
+    bytes_sent_ += p.bytes;
+    // Fold into the per-direction FIFO link — the replay equivalent of the
+    // plain path's FifoResource::AcquireDeferred: serialize back-to-back
+    // from the later of the send time and the link frontier, then the base
+    // latency elapses off-link. The frontier persists across barriers.
+    Tick& busy = busy_until_[p.dir == Direction::kClientToTarget ? 0 : 1];
+    const Tick start = std::max(p.when, busy);
+    const Tick finish = start + TransferTime(p.bytes, config_.bandwidth_bps);
+    busy = finish;
+    p.dest->At(finish + config_.base_latency + fault_delay,
+               std::move(p.deliver));
+    ++replayed;
+  }
+  return replayed;
+}
+
+}  // namespace gimbal::fabric

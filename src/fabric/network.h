@@ -5,12 +5,32 @@
 // propagation/switching latency. Capsules are 64 B; RDMA data moves in
 // messages of the IO's size (§2.1's five-step request flow is built from
 // these primitives by the target).
+//
+// Two execution modes share one visible contract:
+//
+//   * Plain (default): Send() acquires the direction's FifoResource
+//     immediately, exactly as before the sharded engine existed.
+//   * Sharded (ConfigureSharded): Send() buffers the message in a
+//     per-source-shard outbox, and at every epoch barrier ReplayPending()
+//     folds all buffered messages into the shared link in one canonical
+//     order — (send time, source shard, per-shard issue order) — keeping
+//     per-direction FIFO serialization state across epochs. Deliveries
+//     land on the destination shard's queue at
+//     serialization end + base_latency, which the engine's lookahead
+//     guarantees is never in any shard's past (docs/SIMULATOR.md).
+//
+// Because the canonical replay order is a pure function of simulated
+// times and shard structure, the resulting schedule is bit-identical for
+// any worker-thread count.
 #pragma once
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "fault/fault.h"
 #include "sim/resource.h"
+#include "sim/shard.h"
 #include "sim/simulator.h"
 
 namespace gimbal::fabric {
@@ -31,10 +51,18 @@ class Network {
       : sim_(sim), config_(config), c2t_(sim), t2c_(sim) {}
 
   // Deliver a `bytes`-sized message in `dir`; `deliver` runs after
-  // serialization on the shared link plus the base latency. During a
-  // scheduled link flap (docs/FAULTS.md) the message may be silently
-  // dropped — recovery is the initiator's per-IO timeout — or delayed.
-  void Send(Direction dir, uint64_t bytes, sim::EventFn deliver) {
+  // serialization on the shared link plus the base latency. `ssd`
+  // identifies the target-side pipeline the message belongs to — it picks
+  // the destination shard in sharded mode (client-to-target lands on the
+  // pipeline's shard; target-to-client always lands on the client shard)
+  // and is ignored in plain mode. During a scheduled link flap
+  // (docs/FAULTS.md) the message may be silently dropped — recovery is
+  // the initiator's per-IO timeout — or delayed.
+  void Send(Direction dir, int ssd, uint64_t bytes, sim::EventFn deliver) {
+    if (!ssd_sims_.empty()) {
+      BufferSend(dir, ssd, bytes, std::move(deliver));
+      return;
+    }
     Tick fault_delay = 0;
     if (faults_) {
       const fault::FaultInjector::LinkFault lf =
@@ -56,6 +84,28 @@ class Network {
                          std::move(deliver));
   }
 
+  // Compatibility form for direct unit-test use; routes like ssd 0.
+  void Send(Direction dir, uint64_t bytes, sim::EventFn deliver) {
+    Send(dir, 0, bytes, std::move(deliver));
+  }
+
+  // Enter sharded mode: client-to-target messages for pipeline i deliver
+  // onto `ssd_sims[i]`, target-to-client messages onto `client_sim`.
+  // `client_sim` must be the engine's shard 0.
+  void ConfigureSharded(sim::Simulator* client_sim,
+                        std::vector<sim::Simulator*> ssd_sims,
+                        int num_shards) {
+    client_sim_ = client_sim;
+    ssd_sims_ = std::move(ssd_sims);
+    outbox_.resize(static_cast<size_t>(num_shards));
+  }
+
+  // Fold every buffered cross-shard message into the shared link in
+  // canonical order and schedule its delivery. Runs on the control thread
+  // at epoch barriers, while all shards are quiescent. Returns the number
+  // of messages replayed.
+  size_t ReplayPending();
+
   // Route every message through `faults` (null detaches).
   void set_fault_injector(fault::FaultInjector* faults) { faults_ = faults; }
 
@@ -64,6 +114,17 @@ class Network {
   uint64_t messages_dropped() const { return messages_dropped_; }
 
  private:
+  struct PendingSend {
+    Tick when = 0;
+    Direction dir = Direction::kClientToTarget;
+    uint64_t bytes = 0;
+    sim::Simulator* dest = nullptr;
+    sim::EventFn deliver;
+  };
+
+  void BufferSend(Direction dir, int ssd, uint64_t bytes,
+                  sim::EventFn deliver);
+
   sim::Simulator& sim_;
   NetworkConfig config_;
   sim::FifoResource c2t_;
@@ -71,6 +132,15 @@ class Network {
   uint64_t bytes_sent_ = 0;
   uint64_t messages_dropped_ = 0;
   fault::FaultInjector* faults_ = nullptr;  // null = fault-free link
+
+  // Sharded mode state. Outboxes are per source shard (single writer
+  // during an epoch; drained at the barrier). busy_until_ carries each
+  // direction's FIFO serialization frontier across epochs — the replay
+  // equivalent of the FifoResources' internal queues.
+  sim::Simulator* client_sim_ = nullptr;
+  std::vector<sim::Simulator*> ssd_sims_;  // empty = plain mode
+  std::vector<std::vector<PendingSend>> outbox_;
+  Tick busy_until_[2] = {0, 0};
 };
 
 }  // namespace gimbal::fabric

@@ -12,17 +12,32 @@ namespace gimbal::fabric {
 Target::Target(sim::Simulator& sim, Network& net, TargetConfig config)
     : sim_(sim), net_(net), config_(config) {
   cores_.reserve(config_.cores);
+  core_sims_.reserve(config_.cores);
   for (int i = 0; i < config_.cores; ++i) {
     cores_.push_back(std::make_unique<sim::FifoResource>(sim_));
+    core_sims_.push_back(&sim_);
   }
 }
 
-int Target::AddPipeline(std::unique_ptr<core::IoPolicy> policy) {
+void Target::ConfigureShards(const std::vector<sim::Simulator*>& core_sims) {
+  assert(pipelines_.empty() && "ConfigureShards must precede AddPipeline");
+  assert(static_cast<int>(core_sims.size()) == config_.cores);
+  cores_.clear();
+  core_sims_ = core_sims;
+  for (int i = 0; i < config_.cores; ++i) {
+    cores_.push_back(std::make_unique<sim::FifoResource>(*core_sims_[i]));
+  }
+}
+
+int Target::AddPipeline(std::unique_ptr<core::IoPolicy> policy,
+                        obs::Observability* obs) {
   auto p = std::make_unique<Pipeline>();
   p->policy = std::move(policy);
   // Shared-nothing: pipelines spread round-robin over the cores (§4.1:
   // one A72 core fully drives one PCIe Gen3 SSD).
   p->core = static_cast<int>(pipelines_.size()) % config_.cores;
+  p->sim = core_sims_[p->core];
+  p->obs_override = obs;
   Pipeline* raw = p.get();
   p->policy->set_completion_fn(
       [this, raw](const IoRequest& req, const IoCompletion& cpl) {
@@ -30,7 +45,7 @@ int Target::AddPipeline(std::unique_ptr<core::IoPolicy> policy) {
       });
   const int id = static_cast<int>(pipelines_.size());
   p->id = id;
-  p->policy->AttachObservability(obs_, id);
+  p->policy->AttachObservability(ObsOf(*p), id);
   p->policy->AttachChecker(chk_, id);
   pipelines_.push_back(std::move(p));
   return id;
@@ -39,7 +54,7 @@ int Target::AddPipeline(std::unique_ptr<core::IoPolicy> policy) {
 void Target::AttachObservability(obs::Observability* obs) {
   obs_ = obs;
   for (int i = 0; i < static_cast<int>(pipelines_.size()); ++i) {
-    pipelines_[i]->policy->AttachObservability(obs_, i);
+    pipelines_[i]->policy->AttachObservability(ObsOf(*pipelines_[i]), i);
     pipelines_[i]->admit.clear();
   }
 }
@@ -57,29 +72,27 @@ void Target::Connect(int pipeline, TenantId tenant, CompletionSink* sink) {
 
 void Target::OnCommandCapsule(int pipeline, IoRequest req) {
   Pipeline& p = *pipelines_[pipeline];
-  ++stats_.ios;
-  stats_.bytes += req.length;
-  if (obs_) {
+  ++p.stats.ios;
+  p.stats.bytes += req.length;
+  if (obs::Observability* o = ObsOf(p)) {
     const obs::Labels l =
         obs::Labels::TenantSsd(static_cast<int32_t>(req.tenant), pipeline);
     Pipeline::AdmitCounters& ac = p.admit[req.tenant];
     if (!ac.ios) {
       // Resolved once per (tenant, pipeline); a run-label change invalidates
       // the cache via Testbed re-attach.
-      ac.ios = &obs_->metrics.GetCounter(obs::schema::kTargetAdmitted, l);
-      ac.bytes =
-          &obs_->metrics.GetCounter(obs::schema::kTargetAdmittedBytes, l);
+      ac.ios = &o->metrics.GetCounter(obs::schema::kTargetAdmitted, l);
+      ac.bytes = &o->metrics.GetCounter(obs::schema::kTargetAdmittedBytes, l);
     }
     ac.ios->Add(1);
     ac.bytes->Add(req.length);
-    obs_->tracer.Instant(
-        sim_.now(), obs::schema::kEvAdmit, l,
-        {{"bytes", static_cast<double>(req.length)},
-         {"write", req.type == IoType::kWrite ? 1.0 : 0.0}});
+    o->tracer.Instant(p.sim->now(), obs::schema::kEvAdmit, l,
+                      {{"bytes", static_cast<double>(req.length)},
+                       {"write", req.type == IoType::kWrite ? 1.0 : 0.0}});
   }
   // Target-side latency is measured from capsule arrival to the completion
   // capsule being handed to the NIC (the (b)-(e) window of §2.1).
-  req.target_arrival = sim_.now();
+  req.target_arrival = p.sim->now();
   TouchSession(pipeline, req.tenant);
   // Step (b): submission processing on the pipeline's core.
   CoreOf(p).Acquire(
@@ -87,21 +100,20 @@ void Target::OnCommandCapsule(int pipeline, IoRequest req) {
         if (req.type == IoType::kWrite && req.length > kInlineWriteBytes) {
           // RDMA_READ of the client payload: control message out, data in,
           // then staging through node memory.
-          net_.Send(Direction::kTargetToClient, kRdmaControlBytes,
+          net_.Send(Direction::kTargetToClient, p.id, kRdmaControlBytes,
                     [this, &p, req]() mutable {
-                      net_.Send(Direction::kClientToTarget, req.length,
+                      net_.Send(Direction::kClientToTarget, p.id, req.length,
                                 [this, &p, req]() mutable {
-                                  sim_.After(StagingDelay(req.length),
-                                             [this, &p, req]() {
-                                               DeliverToPolicy(p, req);
-                                             });
+                                  p.sim->After(StagingDelay(req.length),
+                                               [this, &p, req]() {
+                                                 DeliverToPolicy(p, req);
+                                               });
                                 });
                     });
         } else if (req.type == IoType::kWrite) {
           // Inlined payload arrived with the capsule: just stage it.
-          sim_.After(StagingDelay(req.length), [this, &p, req]() {
-            DeliverToPolicy(p, req);
-          });
+          p.sim->After(StagingDelay(req.length),
+                       [this, &p, req]() { DeliverToPolicy(p, req); });
         } else {
           DeliverToPolicy(p, req);
         }
@@ -139,47 +151,44 @@ void Target::OnKeepaliveCapsule(int pipeline, TenantId tenant) {
 
 void Target::TouchSession(int pipeline, TenantId tenant) {
   if (config_.session_timeout <= 0) return;
-  pipelines_[pipeline]->last_seen[tenant] = sim_.now();
-  if (reaper_timer_.active()) return;
+  Pipeline& p = *pipelines_[pipeline];
+  p.last_seen[tenant] = p.sim->now();
+  if (p.reaper_timer.active()) return;
   // Scan at half the timeout so a dead session is reaped at most 1.5x the
-  // timeout after its last capsule.
-  reaper_timer_ = sim_.After(config_.session_timeout / 2,
-                             [this]() { ReapStaleSessions(); });
+  // timeout after its last capsule. One timer per pipeline, on the
+  // pipeline's shard.
+  p.reaper_timer = p.sim->After(config_.session_timeout / 2,
+                                [this, &p]() { ReapStaleSessions(p); });
 }
 
-void Target::ReapStaleSessions() {
-  const Tick now = sim_.now();
-  bool any_tracked = false;
-  for (int pi = 0; pi < static_cast<int>(pipelines_.size()); ++pi) {
-    Pipeline& p = *pipelines_[pi];
-    // Collect-then-reap, sorted: map order is implementation-defined and
-    // the reap order is client-visible (failed completions).
-    std::vector<TenantId> stale;
-    for (const auto& [tenant, seen] : p.last_seen) {
-      if (now - seen >= config_.session_timeout) stale.push_back(tenant);
+void Target::ReapStaleSessions(Pipeline& p) {
+  const Tick now = p.sim->now();
+  // Collect-then-reap, sorted: map order is implementation-defined and
+  // the reap order is client-visible (failed completions).
+  std::vector<TenantId> stale;
+  for (const auto& [tenant, seen] : p.last_seen) {
+    if (now - seen >= config_.session_timeout) stale.push_back(tenant);
+  }
+  std::sort(stale.begin(), stale.end());
+  for (TenantId tenant : stale) {
+    p.last_seen.erase(tenant);
+    ++p.sessions_reaped;
+    if (obs::Observability* o = ObsOf(p)) {
+      const obs::Labels l =
+          obs::Labels::TenantSsd(static_cast<int32_t>(tenant), p.id);
+      o->metrics.GetCounter(obs::schema::kTargetSessionsReaped, l).Add(1);
+      o->tracer.Instant(now, obs::schema::kEvTenantReap, l);
     }
-    std::sort(stale.begin(), stale.end());
-    for (TenantId tenant : stale) {
-      p.last_seen.erase(tenant);
-      ++sessions_reaped_;
-      if (obs_) {
-        const obs::Labels l =
-            obs::Labels::TenantSsd(static_cast<int32_t>(tenant), pi);
-        obs_->metrics.GetCounter(obs::schema::kTargetSessionsReaped, l).Add(1);
-        obs_->tracer.Instant(sim_.now(), obs::schema::kEvTenantReap, l);
-      }
-      // Same teardown as a disconnect capsule: queued IOs fail back with
-      // status=aborted, scheduler state is reclaimed once inflight drains.
-      CoreOf(p).Acquire(config_.submit_cost, [&p, tenant]() {
-        p.policy->OnTenantDisconnect(tenant);
-      });
-    }
-    any_tracked |= !p.last_seen.empty();
+    // Same teardown as a disconnect capsule: queued IOs fail back with
+    // status=aborted, scheduler state is reclaimed once inflight drains.
+    CoreOf(p).Acquire(config_.submit_cost, [&p, tenant]() {
+      p.policy->OnTenantDisconnect(tenant);
+    });
   }
   // Self-terminate once nothing is tracked so the event queue can drain.
-  if (any_tracked) {
-    reaper_timer_ = sim_.After(config_.session_timeout / 2,
-                               [this]() { ReapStaleSessions(); });
+  if (!p.last_seen.empty()) {
+    p.reaper_timer = p.sim->After(config_.session_timeout / 2,
+                                  [this, &p]() { ReapStaleSessions(p); });
   }
 }
 
@@ -189,23 +198,38 @@ int Target::session_count() const {
   return n;
 }
 
+uint64_t Target::sessions_reaped() const {
+  uint64_t n = 0;
+  for (const auto& p : pipelines_) n += p->sessions_reaped;
+  return n;
+}
+
+Target::TargetStats Target::stats() const {
+  TargetStats total;
+  for (const auto& p : pipelines_) {
+    total.ios += p->stats.ios;
+    total.bytes += p->stats.bytes;
+  }
+  return total;
+}
+
 void Target::FinishCompletion(Pipeline& p, const IoRequest& req,
                               IoCompletion cpl) {
   // Step (e) prologue: completion processing on the core.
   CoreOf(p).Acquire(config_.complete_cost, [this, &p, req, cpl]() mutable {
-    cpl.target_latency = sim_.now() - req.target_arrival;
+    cpl.target_latency = p.sim->now() - req.target_arrival;
     auto it = p.sinks.find(req.tenant);
     assert(it != p.sinks.end() && "completion for unconnected tenant");
     CompletionSink* sink = it->second;
     if (req.type == IoType::kRead && cpl.ok()) {
       // Step (d): stage data out of node memory, RDMA_WRITE it, then the
       // completion capsule follows on the same direction.
-      sim_.After(StagingDelay(req.length), [this, req, cpl, sink]() {
-        net_.Send(Direction::kTargetToClient, req.length + kCapsuleBytes,
+      p.sim->After(StagingDelay(req.length), [this, &p, req, cpl, sink]() {
+        net_.Send(Direction::kTargetToClient, p.id, req.length + kCapsuleBytes,
                   [cpl, sink]() { sink->OnFabricCompletion(cpl); });
       });
     } else {
-      net_.Send(Direction::kTargetToClient, kCapsuleBytes,
+      net_.Send(Direction::kTargetToClient, p.id, kCapsuleBytes,
                 [cpl, sink]() { sink->OnFabricCompletion(cpl); });
     }
   });

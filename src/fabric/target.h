@@ -10,6 +10,15 @@
 //   (c) the per-SSD IoPolicy decides when the SSD executes it,
 //   (d) for reads, RDMA_WRITE of the data back to the client,
 //   (e) completion capsule (carrying Gimbal's piggybacked credit, §3.6).
+//
+// Under the sharded engine (docs/SIMULATOR.md) each core — and so each
+// pipeline — lives on its own shard: ConfigureShards() rebuilds the core
+// FifoResources on the shard simulators, and every pipeline-side path
+// (admission, staging, reaping, completion) runs on and reads the clock of
+// its pipeline's shard. All mutable per-pipeline state (stats, session
+// table, reaper timer, counter caches) is therefore single-writer; the
+// aggregate accessors (stats(), session_count(), sessions_reaped()) fold
+// by value and are meant for control context, between runs.
 #pragma once
 
 #include <functional>
@@ -67,15 +76,26 @@ class Target {
  public:
   Target(sim::Simulator& sim, Network& net, TargetConfig config = {});
 
+  // Sharded mode: rebuild core c's FifoResource on core_sims[c] so each
+  // pipeline executes on its shard. Must be called before any AddPipeline
+  // (pipelines capture their core's simulator); size must equal
+  // config.cores. Entries for cores the testbed leaves unused may point at
+  // the client simulator.
+  void ConfigureShards(const std::vector<sim::Simulator*>& core_sims);
+
   // Attach an SSD pipeline driven by `policy`; returns the pipeline id.
-  // The policy must already be bound to its block device.
-  int AddPipeline(std::unique_ptr<core::IoPolicy> policy);
+  // The policy must already be bound to its block device. `obs` overrides
+  // the target-wide observability for this pipeline (the sharded testbed
+  // passes the pipeline's shard-private instance); null inherits.
+  int AddPipeline(std::unique_ptr<core::IoPolicy> policy,
+                  obs::Observability* obs = nullptr);
 
   // Register the client-side sink for a tenant's completions on a pipeline.
   void Connect(int pipeline, TenantId tenant, CompletionSink* sink);
 
   // Entry point used by initiators (called after the capsule's network
-  // trip): step (b) onward.
+  // trip, so under sharding it already runs on the pipeline's shard):
+  // step (b) onward.
   void OnCommandCapsule(int pipeline, IoRequest req);
 
   // Dataset Management (TRIM) capsule: cheap control-plane processing,
@@ -93,11 +113,12 @@ class Target {
 
   // Sessions currently tracked by the crash reaper (0 when disabled).
   int session_count() const;
-  uint64_t sessions_reaped() const { return sessions_reaped_; }
+  uint64_t sessions_reaped() const;
 
   // Attach metrics/trace sinks; propagated to every pipeline's policy
-  // (existing and future), which forwards to its device-facing components.
-  // Pipeline index doubles as the `ssd` label. Pass nullptr to detach.
+  // (existing and future) that has no per-pipeline override, which
+  // forwards to its device-facing components. Pipeline index doubles as
+  // the `ssd` label. Pass nullptr to detach.
   void AttachObservability(obs::Observability* obs);
 
   // Attach the invariant checker; propagated like AttachObservability.
@@ -111,17 +132,26 @@ class Target {
     uint64_t ios = 0;
     uint64_t bytes = 0;
   };
-  const TargetStats& stats() const { return stats_; }
+  TargetStats stats() const;
 
  private:
   struct Pipeline {
     std::unique_ptr<core::IoPolicy> policy;
     int id = 0;
     int core = 0;
+    // The shard this pipeline executes on (== the target's simulator in
+    // plain mode) and the observability it records into.
+    sim::Simulator* sim = nullptr;
+    obs::Observability* obs_override = nullptr;
+    TargetStats stats;
     std::unordered_map<TenantId, CompletionSink*> sinks;
     // Last command/keepalive capsule per tenant; populated only while
     // session_timeout > 0.
     std::unordered_map<TenantId, Tick> last_seen;
+    uint64_t sessions_reaped = 0;
+    // This pipeline's armed reaper scan; not re-armed when no session
+    // remains tracked, so Run()-to-idle experiments still drain.
+    sim::TimerHandle reaper_timer;
     // Per-tenant admit counter handles, resolved lazily (see target.cc).
     struct AdmitCounters {
       obs::Counter* ios = nullptr;
@@ -131,10 +161,13 @@ class Target {
   };
 
   sim::FifoResource& CoreOf(const Pipeline& p) { return *cores_[p.core]; }
+  obs::Observability* ObsOf(const Pipeline& p) const {
+    return p.obs_override ? p.obs_override : obs_;
+  }
   void DeliverToPolicy(Pipeline& p, const IoRequest& req);
   void FinishCompletion(Pipeline& p, const IoRequest& req, IoCompletion cpl);
   void TouchSession(int pipeline, TenantId tenant);
-  void ReapStaleSessions();
+  void ReapStaleSessions(Pipeline& p);
   Tick StagingDelay(uint32_t bytes) const {
     return static_cast<Tick>(config_.staging_ns_per_byte *
                              static_cast<double>(bytes));
@@ -144,12 +177,8 @@ class Target {
   Network& net_;
   TargetConfig config_;
   std::vector<std::unique_ptr<sim::FifoResource>> cores_;
+  std::vector<sim::Simulator*> core_sims_;  // parallel to cores_
   std::vector<std::unique_ptr<Pipeline>> pipelines_;
-  TargetStats stats_;
-  uint64_t sessions_reaped_ = 0;
-  // The armed reaper scan; not re-armed when no session remains tracked,
-  // so Run()-to-idle experiments still drain the event queue.
-  sim::TimerHandle reaper_timer_;
   obs::Observability* obs_ = nullptr;  // null = not observed
   check::InvariantChecker* chk_ = nullptr;
 };

@@ -5,34 +5,75 @@
 
 namespace gimbal::fault {
 
+namespace {
+// Per-SSD stream seeds: golden-ratio stride off the injector seed (Rng
+// SplitMixes whatever it is given, so nearby seeds still decorrelate). The
+// link stream uses the plain seed, which no SSD stream can collide with.
+uint64_t SsdSeed(uint64_t seed, int ssd) {
+  return seed + 0x9E3779B97F4A7C15ull * static_cast<uint64_t>(ssd + 1);
+}
+}  // namespace
+
 FaultInjector::FaultInjector(sim::Simulator& sim, int num_ssds, uint64_t seed)
-    : sim_(sim), rng_(seed), ssds_(static_cast<size_t>(num_ssds)) {}
+    : sim_(sim), seed_(seed), link_rng_(seed),
+      ssds_(static_cast<size_t>(num_ssds)) {
+  for (int i = 0; i < num_ssds; ++i) {
+    ssds_[i].rng = Rng(SsdSeed(seed_, i));
+    ssds_[i].sim = &sim_;
+  }
+}
+
+void FaultInjector::ConfigureShards(
+    const std::vector<sim::Simulator*>& ssd_sims,
+    const std::vector<obs::Observability*>& ssd_obs) {
+  assert(static_cast<int>(ssd_sims.size()) == num_ssds());
+  assert(static_cast<int>(ssd_obs.size()) == num_ssds());
+  assert(scheduled_.empty() && "ConfigureShards must precede Schedule");
+  for (int i = 0; i < num_ssds(); ++i) {
+    ssds_[i].sim = ssd_sims[i] ? ssd_sims[i] : &sim_;
+    ssds_[i].obs = ssd_obs[i];
+  }
+}
 
 void FaultInjector::AttachObservability(obs::Observability* obs) {
   obs_ = obs;
-  m_media_errors_ = nullptr;
-  m_device_failed_ = nullptr;
-  m_stalled_ = nullptr;
   m_link_dropped_ = nullptr;
   m_link_delayed_ = nullptr;
+  namespace schema = obs::schema;
   for (int i = 0; i < num_ssds(); ++i) {
-    ssds_[i].machine.AttachObservability(obs, i);
+    SsdState& s = ssds_[i];
+    obs::Observability* o = s.obs ? s.obs : obs_;
+    s.machine.AttachObservability(o, i);
+    s.m_media_errors = nullptr;
+    s.m_device_failed = nullptr;
+    s.m_stalled = nullptr;
+    if (o) {
+      s.m_media_errors = &o->metrics.GetCounter(schema::kFaultMediaErrors);
+      s.m_device_failed = &o->metrics.GetCounter(schema::kFaultDeviceFailedIos);
+      s.m_stalled = &o->metrics.GetCounter(schema::kFaultStalledIos);
+    }
   }
   if (!obs_) return;
-  namespace schema = obs::schema;
   obs::MetricsRegistry& reg = obs_->metrics;
-  m_media_errors_ = &reg.GetCounter(schema::kFaultMediaErrors);
-  m_device_failed_ = &reg.GetCounter(schema::kFaultDeviceFailedIos);
-  m_stalled_ = &reg.GetCounter(schema::kFaultStalledIos);
   m_link_dropped_ = &reg.GetCounter(schema::kFaultLinkDropped);
   m_link_delayed_ = &reg.GetCounter(schema::kFaultLinkDelayed);
 }
 
 void FaultInjector::Inject(const char* kind, int ssd, double arg) {
-  if (!obs_) return;
-  obs_->tracer.Instant(sim_.now(), obs::schema::kEvFaultInject,
-                       ssd >= 0 ? obs::Labels::Ssd(ssd) : obs::Labels{},
-                       {{kind, arg}});
+  obs::Observability* o;
+  Tick now;
+  if (ssd >= 0) {
+    const SsdState& s = ssds_[ssd];
+    o = s.obs ? s.obs : obs_;
+    now = s.sim->now();
+  } else {
+    o = obs_;
+    now = sim_.now();
+  }
+  if (!o) return;
+  o->tracer.Instant(now, obs::schema::kEvFaultInject,
+                    ssd >= 0 ? obs::Labels::Ssd(ssd) : obs::Labels{},
+                    {{kind, arg}});
 }
 
 bool FaultInjector::Degrading(int ssd, Tick now) const {
@@ -47,23 +88,26 @@ bool FaultInjector::Degrading(int ssd, Tick now) const {
 
 bool FaultInjector::SetHealth(int ssd, SsdHealth to) {
   SsdState& s = ssds_[ssd];
-  if (!s.machine.Set(to, sim_.now())) return false;
+  if (!s.machine.Set(to, s.sim->now())) return false;
   for (auto& fn : s.observers) fn(to);
   return true;
 }
 
 void FaultInjector::Schedule(const FaultPlan& plan) {
   plan_ = plan;
+  // Per-SSD window edges run on the SSD's simulator: the health observers
+  // they fire (the pipeline policies) live on that shard.
   for (const StallWindow& w : plan_.stalls) {
     assert(w.ssd >= 0 && w.ssd < num_ssds());
-    scheduled_.push_back(sim_.At(w.start, [this, w]() {
+    sim::Simulator& ssim = *ssds_[w.ssd].sim;
+    scheduled_.push_back(ssim.At(w.start, [this, w]() {
       Inject("stall_ns", w.ssd, static_cast<double>(w.extra_latency));
       SetHealth(w.ssd, SsdHealth::kDegraded);
     }));
-    scheduled_.push_back(sim_.At(w.end, [this, w]() {
+    scheduled_.push_back(ssim.At(w.end, [this, w]() {
       // Only un-degrade if no other degrading window is still active and
       // the device has not failed meanwhile (Set validates transitions).
-      if (!Degrading(w.ssd, sim_.now()) &&
+      if (!Degrading(w.ssd, ssds_[w.ssd].sim->now()) &&
           (GIMBAL_MUT(kHealthSkip) ||
            health(w.ssd) == SsdHealth::kDegraded)) {
         SetHealth(w.ssd, SsdHealth::kHealthy);
@@ -72,12 +116,13 @@ void FaultInjector::Schedule(const FaultPlan& plan) {
   }
   for (const MediaErrorBurst& b : plan_.media_errors) {
     assert(b.ssd >= 0 && b.ssd < num_ssds());
-    scheduled_.push_back(sim_.At(b.start, [this, b]() {
+    sim::Simulator& ssim = *ssds_[b.ssd].sim;
+    scheduled_.push_back(ssim.At(b.start, [this, b]() {
       Inject("media_error_p", b.ssd, b.probability);
       SetHealth(b.ssd, SsdHealth::kDegraded);
     }));
-    scheduled_.push_back(sim_.At(b.end, [this, b]() {
-      if (!Degrading(b.ssd, sim_.now()) &&
+    scheduled_.push_back(ssim.At(b.end, [this, b]() {
+      if (!Degrading(b.ssd, ssds_[b.ssd].sim->now()) &&
           (GIMBAL_MUT(kHealthSkip) ||
            health(b.ssd) == SsdHealth::kDegraded)) {
         SetHealth(b.ssd, SsdHealth::kHealthy);
@@ -86,7 +131,8 @@ void FaultInjector::Schedule(const FaultPlan& plan) {
   }
   for (const SsdFailure& f : plan_.failures) {
     assert(f.ssd >= 0 && f.ssd < num_ssds());
-    scheduled_.push_back(sim_.At(f.fail_at, [this, f]() {
+    sim::Simulator& ssim = *ssds_[f.ssd].sim;
+    scheduled_.push_back(ssim.At(f.fail_at, [this, f]() {
       Inject("fail", f.ssd, 1.0);
       // A failure during probation kills the pending heal; the re-failed
       // device must wait for its own recovery, not inherit the old one's.
@@ -95,11 +141,11 @@ void FaultInjector::Schedule(const FaultPlan& plan) {
     }));
     if (f.recover_at > 0) {
       assert(f.recover_at > f.fail_at);
-      scheduled_.push_back(sim_.At(f.recover_at, [this, f]() {
+      scheduled_.push_back(ssim.At(f.recover_at, [this, f]() {
         Inject("recover", f.ssd, 1.0);
         if (!SetHealth(f.ssd, SsdHealth::kRecovering)) return;
         ssds_[f.ssd].probation =
-            sim_.After(plan_.recovery_probation, [this, f]() {
+            ssds_[f.ssd].sim->After(plan_.recovery_probation, [this, f]() {
               SetHealth(f.ssd, SsdHealth::kHealthy);
             });
       }));
@@ -116,7 +162,7 @@ void FaultInjector::ScheduleTenantCrash(Tick at, TenantId tenant,
                                         std::function<void()> crash_fn) {
   scheduled_.push_back(
       sim_.At(at, [this, tenant, crash_fn = std::move(crash_fn)]() {
-        ++counters_.crashes;
+        ++crashes_;
         if (obs_) {
           obs_->tracer.Instant(
               sim_.now(), obs::schema::kEvTenantCrash,
@@ -146,12 +192,13 @@ FaultInjector::IoFault FaultInjector::OnDeviceSubmit(int ssd, IoType /*type*/,
   if (s.machine.health() == SsdHealth::kFailed) {
     out.force_status = IoStatus::kDeviceFailed;
     out.fault_latency = Microseconds(5);  // fail-fast controller response
-    ++counters_.device_failed_ios;
-    if (m_device_failed_) m_device_failed_->Add(1);
+    ++s.device_failed_ios;
+    if (s.m_device_failed) s.m_device_failed->Add(1);
     return out;
   }
-  // Transient media errors: use the strongest active burst. The RNG is
-  // drawn only while a burst is active, keeping the stream deterministic.
+  // Transient media errors: use the strongest active burst. The SSD's
+  // private RNG is drawn only while a burst is active, keeping the stream
+  // deterministic.
   double p = 0;
   Tick err_latency = 0;
   for (const MediaErrorBurst& b : plan_.media_errors) {
@@ -160,11 +207,11 @@ FaultInjector::IoFault FaultInjector::OnDeviceSubmit(int ssd, IoType /*type*/,
       err_latency = b.error_latency;
     }
   }
-  if (p > 0 && rng_.NextDouble() < p) {
+  if (p > 0 && s.rng.NextDouble() < p) {
     out.force_status = IoStatus::kMediaError;
     out.fault_latency = err_latency;
-    ++counters_.media_errors;
-    if (m_media_errors_) m_media_errors_->Add(1);
+    ++s.media_errors;
+    if (s.m_media_errors) s.m_media_errors->Add(1);
     return out;
   }
   for (const StallWindow& w : plan_.stalls) {
@@ -173,8 +220,8 @@ FaultInjector::IoFault FaultInjector::OnDeviceSubmit(int ssd, IoType /*type*/,
     }
   }
   if (out.extra_latency > 0) {
-    ++counters_.stalled_ios;
-    if (m_stalled_) m_stalled_->Add(1);
+    ++s.stalled_ios;
+    if (s.m_stalled) s.m_stalled->Add(1);
   }
   return out;
 }
@@ -187,18 +234,31 @@ FaultInjector::LinkFault FaultInjector::OnLinkMessage(Tick now) {
     p = std::max(p, l.drop_probability);
     out.extra_delay = std::max(out.extra_delay, l.extra_delay);
   }
-  if (p > 0 && rng_.NextDouble() < p) {
+  if (p > 0 && link_rng_.NextDouble() < p) {
     out.drop = true;
     out.extra_delay = 0;
-    ++counters_.link_dropped;
+    ++link_dropped_;
     if (m_link_dropped_) m_link_dropped_->Add(1);
     return out;
   }
   if (out.extra_delay > 0) {
-    ++counters_.link_delayed;
+    ++link_delayed_;
     if (m_link_delayed_) m_link_delayed_->Add(1);
   }
   return out;
+}
+
+FaultInjector::FaultCounters FaultInjector::counters() const {
+  FaultCounters total;
+  for (const SsdState& s : ssds_) {
+    total.media_errors += s.media_errors;
+    total.device_failed_ios += s.device_failed_ios;
+    total.stalled_ios += s.stalled_ios;
+  }
+  total.link_dropped = link_dropped_;
+  total.link_delayed = link_delayed_;
+  total.crashes = crashes_;
+  return total;
 }
 
 }  // namespace gimbal::fault

@@ -15,10 +15,20 @@
 //   * tenant crashes run an arbitrary callback (the testbed points it at
 //     Initiator::Crash) at the planned time.
 //
-// Determinism: all probabilistic decisions come from one xoshiro RNG
-// seeded at construction, and random draws happen only inside active fault
-// windows, so the same seed and the same query sequence yield the same
-// fault schedule — replayable bug reports, sweepable properties.
+// Determinism: device-path decisions for SSD i come from a per-SSD RNG
+// stream (SplitMix-derived from the injector seed and i), and link-path
+// decisions from a separate link stream; draws happen only inside active
+// fault windows. Per-SSD streams make the fault schedule independent of
+// how IOs from different SSDs interleave — which is what lets the sharded
+// engine (docs/SIMULATOR.md) run each SSD's pipeline on its own shard and
+// still produce the exact serial fault sequence: the link stream is only
+// ever drawn from the barrier replay, in canonical message order.
+//
+// Under sharding, ConfigureShards() pins each SSD's window-edge timers,
+// health machine and trace events to that SSD's shard (health observers —
+// the policies — live there); link-flap edges and tenant crashes stay on
+// the client shard. All per-SSD mutable state (RNG, counters, metric
+// handles) is then single-writer.
 #pragma once
 
 #include <cstdint>
@@ -94,6 +104,14 @@ class FaultInjector {
  public:
   FaultInjector(sim::Simulator& sim, int num_ssds, uint64_t seed = 1);
 
+  // Sharded mode: SSD i's window-edge timers, probation heals and trace
+  // events run on `ssd_sims[i]` and record into `ssd_obs[i]` (entries may
+  // be null to inherit the injector-wide observability). Call before
+  // Schedule() and before AttachObservability(). Sizes must equal
+  // num_ssds.
+  void ConfigureShards(const std::vector<sim::Simulator*>& ssd_sims,
+                       const std::vector<obs::Observability*>& ssd_obs);
+
   // Schedule every fault in `plan` on the event queue. Call once, before
   // the experiment runs past the earliest fault time. Every scheduled
   // window edge holds a TimerHandle, so a plan can be torn down again.
@@ -110,13 +128,15 @@ class FaultInjector {
 
   // (e) Abrupt tenant crash: runs `crash_fn` (typically Initiator::Crash —
   // no disconnect capsule; the target's keepalive reaper cleans up) at
-  // `at`, with a fault.inject trace event.
+  // `at`, with a fault.inject trace event. Runs on the injector's own
+  // (client) simulator — initiators live there.
   void ScheduleTenantCrash(Tick at, TenantId tenant,
                            std::function<void()> crash_fn);
 
   // --- Data-path queries -----------------------------------------------------
 
-  // Decision for one device command on `ssd`.
+  // Decision for one device command on `ssd`. `now` must be the clock of
+  // the simulator the device runs on (the SSD's shard under sharding).
   struct IoFault {
     IoStatus force_status = IoStatus::kOk;  // non-ok: do not reach the device
     Tick fault_latency = 0;   // completion latency when force_status != ok
@@ -124,7 +144,9 @@ class FaultInjector {
   };
   IoFault OnDeviceSubmit(int ssd, IoType type, Tick now);
 
-  // Decision for one fabric message.
+  // Decision for one fabric message. Under sharding the network calls this
+  // from the barrier replay on the control thread, in canonical message
+  // order, so the link RNG stream is thread-count invariant.
   struct LinkFault {
     bool drop = false;
     Tick extra_delay = 0;
@@ -159,12 +181,26 @@ class FaultInjector {
     uint64_t link_delayed = 0;
     uint64_t crashes = 0;
   };
-  const FaultCounters& counters() const { return counters_; }
+  // Aggregated across the per-SSD, link and crash writer contexts. Meant
+  // for control context (between runs / at a barrier).
+  FaultCounters counters() const;
 
  private:
   struct SsdState {
     SsdHealthMachine machine;
     std::vector<std::function<void(SsdHealth)>> observers;
+    // This SSD's private fault stream and single-writer state (see header
+    // comment). sim/obs default to the injector-wide ones in plain mode.
+    Rng rng{0};
+    sim::Simulator* sim = nullptr;
+    obs::Observability* obs = nullptr;
+    uint64_t media_errors = 0;
+    uint64_t device_failed_ios = 0;
+    uint64_t stalled_ios = 0;
+    // Metric handles (null = not observed).
+    obs::Counter* m_media_errors = nullptr;
+    obs::Counter* m_device_failed = nullptr;
+    obs::Counter* m_stalled = nullptr;
     // The recovering->healthy heal armed by a failure's recover_at;
     // cancelled if the device fails again during probation (the state
     // machine would reject the heal anyway — cancelling keeps the event
@@ -188,20 +224,22 @@ class FaultInjector {
   void Inject(const char* kind, int ssd, double arg);
 
   sim::Simulator& sim_;
-  Rng rng_;
+  uint64_t seed_;
+  Rng link_rng_;
   std::vector<SsdState> ssds_;
   FaultPlan plan_;
-  FaultCounters counters_;
+  // Writer-context-split counters: link_* are written by the network call
+  // path (control thread under sharding), crashes_ by the client shard.
+  uint64_t link_dropped_ = 0;
+  uint64_t link_delayed_ = 0;
+  uint64_t crashes_ = 0;
   // Handles on every scheduled window edge (starts, ends, failures,
   // recoveries, crashes); fired handles are inert and pruned lazily.
   std::vector<sim::TimerHandle> scheduled_;
 
   obs::Observability* obs_ = nullptr;
 
-  // Metric handles (null = not observed).
-  obs::Counter* m_media_errors_ = nullptr;
-  obs::Counter* m_device_failed_ = nullptr;
-  obs::Counter* m_stalled_ = nullptr;
+  // Link metric handles (null = not observed).
   obs::Counter* m_link_dropped_ = nullptr;
   obs::Counter* m_link_delayed_ = nullptr;
 };

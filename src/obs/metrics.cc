@@ -49,6 +49,34 @@ Histogram& MetricsRegistry::GetHistogram(const MetricDef& def, Labels labels) {
   return Resolve(def, labels, Kind::kHistogram).histogram;
 }
 
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (const auto& [key, src] : other.index_) {
+    auto it = index_.find(key);
+    Instance* dst;
+    if (it != index_.end()) {
+      assert(it->second->kind == src->kind &&
+             "metric merged as another kind");
+      dst = it->second;
+    } else {
+      instances_.emplace_back();
+      dst = &instances_.back();
+      dst->name = src->name;
+      dst->unit = src->unit;
+      dst->help = src->help;
+      dst->site = src->site;
+      dst->run = src->run;
+      dst->labels = src->labels;
+      dst->kind = src->kind;
+      index_.emplace(key, dst);
+    }
+    switch (src->kind) {
+      case Kind::kCounter: dst->counter.Add(src->counter.value()); break;
+      case Kind::kGauge: dst->gauge.Set(src->gauge.value()); break;
+      case Kind::kHistogram: dst->histogram.Merge(src->histogram); break;
+    }
+  }
+}
+
 void MetricsRegistry::ResetRun(const std::string& run) {
   for (Instance& inst : instances_) {
     if (inst.run != run) continue;

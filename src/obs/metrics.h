@@ -62,6 +62,8 @@ class Histogram {
   void Record(int64_t v) { hist_.Record(v); }
   void Reset() { hist_.Reset(); }
 
+  void Merge(const Histogram& other) { hist_.Merge(other.hist_); }
+
   uint64_t count() const { return hist_.count(); }
   int64_t min() const { return hist_.min(); }
   int64_t max() const { return hist_.max(); }
@@ -96,6 +98,16 @@ class MetricsRegistry {
   void ResetRun(const std::string& run);
 
   size_t size() const { return instances_.size(); }
+
+  // Fold another registry's instances into this one: counters add,
+  // histograms merge bucket counts, gauges take the other registry's
+  // value. Instances keep the run label they were resolved under in
+  // `other`. Used by the sharded testbed, where each shard records into a
+  // private registry (single-writer, no locks) and the results are merged
+  // into the session registry when the testbed tears down; every
+  // (name, run, labels) key has exactly one writing shard by construction,
+  // so gauge overwrite is exact, not a race resolution.
+  void MergeFrom(const MetricsRegistry& other);
 
   // {"metrics":[{...}, ...]} — one object per instance with name, kind,
   // unit, help, site, labels and the value(s).

@@ -110,6 +110,15 @@ inline constexpr MetricDef kCreditGrants{
     "gimbal.credit.grants", "events",
     "credits piggybacked on completions (one grant per completion)",
     "core/gimbal_switch.cc:OnDeviceCompletion"};
+inline constexpr MetricDef kDrrPassExhausted{
+    "drr.pass_exhausted", "events",
+    "Dequeue gave up after its pass budget with schedulable work remaining",
+    "core/drr_scheduler.cc:Dequeue"};
+inline constexpr MetricDef kDrrOrphanCompletions{
+    "drr.orphan_completions", "ios",
+    "completions dropped because their tenant was already reaped "
+    "(late/duplicate after disconnect)",
+    "core/drr_scheduler.cc:OnCompletion"};
 inline constexpr MetricDef kSsdReadCommands{
     "ssd.read.commands", "ios", "read commands dispatched inside the SSD",
     "ssd/ssd.cc:DispatchRead"};

@@ -74,9 +74,27 @@ class EventTracer {
     std::array<TraceArg, kMaxArgs> args{};
   };
 
+  // Re-record an event captured by another tracer, subject to this
+  // tracer's enable state and buffer limit. The sharded testbed drains
+  // per-shard tracers into the session tracer at every epoch barrier,
+  // merge-sorted into canonical (ts, shard) order (docs/SIMULATOR.md).
+  void Append(const Event& e) {
+    if (!enabled_) return;
+    if (events_.size() >= limit_) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back(e);
+  }
+
+  // Fold another tracer's drop count in (per-shard drops must surface in
+  // the merged tracer, or the digest would silently cover a partial run).
+  void AddDropped(size_t n) { dropped_ += n; }
+
   const std::vector<Event>& events() const { return events_; }
   size_t size() const { return events_.size(); }
   size_t dropped() const { return dropped_; }
+  size_t limit() const { return limit_; }
   void Clear() {
     events_.clear();
     dropped_ = 0;

@@ -12,6 +12,7 @@
 // regression is visible in tests and in bench_sim.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <new>
@@ -22,9 +23,11 @@ namespace gimbal::sim {
 
 class InlineFn {
  public:
-  // Sized for the largest closure the simulator schedules per-IO (see
-  // header comment); anything bigger spills to the heap.
-  static constexpr size_t kInlineCapacity = 104;
+  // Sized for the largest closure the simulator schedules per-IO — the
+  // target's completion step captures an IoRequest (48 B), an IoCompletion
+  // (40 B), a pipeline pointer, a sink pointer and `this` (see header
+  // comment); anything bigger spills to the heap.
+  static constexpr size_t kInlineCapacity = 120;
 
   InlineFn() = default;
   InlineFn(std::nullptr_t) {}  // NOLINT: std::function accepted nullptr too
@@ -44,7 +47,7 @@ class InlineFn {
     } else {
       ::new (static_cast<void*>(buf_)) T*(new T(std::forward<F>(f)));
       ops_ = &HeapOps<T>::ops;
-      ++heap_fallbacks_;
+      heap_fallbacks_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
@@ -84,9 +87,12 @@ class InlineFn {
   }
 
   // Closures that exceeded kInlineCapacity since process start (process-
-  // wide; the simulator is single-threaded). bench_sim asserts this stays
-  // flat across the hot loop.
-  static uint64_t heap_fallbacks() { return heap_fallbacks_; }
+  // wide; relaxed-atomic because sharded testbeds construct closures from
+  // several shard threads). bench_sim asserts this stays flat across the
+  // hot loop.
+  static uint64_t heap_fallbacks() {
+    return heap_fallbacks_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Ops {
@@ -122,7 +128,7 @@ class InlineFn {
   alignas(std::max_align_t) unsigned char buf_[kInlineCapacity];
   const Ops* ops_ = nullptr;
 
-  static inline uint64_t heap_fallbacks_ = 0;
+  static inline std::atomic<uint64_t> heap_fallbacks_{0};
 };
 
 using EventFn = InlineFn;

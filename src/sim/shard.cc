@@ -1,0 +1,158 @@
+#include "sim/shard.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+namespace gimbal::sim {
+
+namespace {
+thread_local int tls_shard = -1;
+thread_local Simulator* tls_sim = nullptr;
+}  // namespace
+
+int ShardedEngine::CurrentShard() { return tls_shard; }
+Simulator* ShardedEngine::CurrentSim() { return tls_sim; }
+
+ShardedEngine::ShardedEngine(int num_shards, const Config& config)
+    : lookahead_(config.lookahead),
+      threads_(std::clamp(config.threads, 1, num_shards)) {
+  assert(num_shards >= 1);
+  assert(lookahead_ > 0 && "conservative lookahead requires a positive "
+                           "minimum cross-shard latency");
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Simulator>(config.impl));
+  }
+  shards_[0]->set_engine(this);
+  active_.reserve(static_cast<size_t>(num_shards));
+  for (int i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this]() { WorkerMain(); });
+  }
+}
+
+ShardedEngine::~ShardedEngine() {
+  quit_.store(true, std::memory_order_release);
+  epoch_seq_.fetch_add(1, std::memory_order_release);
+  epoch_seq_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  shards_[0]->set_engine(nullptr);
+}
+
+Tick ShardedEngine::NextEventTime() const {
+  Tick t = kNone;
+  for (const auto& s : shards_) {
+    EventQueue& q = const_cast<Simulator&>(*s).queue();
+    if (q.empty()) continue;
+    const Tick n = q.next_time();
+    if (t == kNone || n < t) t = n;
+  }
+  return t;
+}
+
+void ShardedEngine::RunClaimedShards() {
+  const uint64_t n = active_.size();
+  for (;;) {
+    const uint64_t idx = next_claim_.fetch_add(1, std::memory_order_relaxed);
+    if (idx >= n) return;
+    const int shard_idx = active_[static_cast<size_t>(idx)];
+    Simulator* s = shards_[static_cast<size_t>(shard_idx)].get();
+    tls_shard = shard_idx;
+    tls_sim = s;
+    s->StepUntil(epoch_last_);
+    tls_shard = -1;
+    tls_sim = nullptr;
+  }
+}
+
+void ShardedEngine::WorkerMain() {
+  uint64_t seen = 0;
+  for (;;) {
+    // Spin hot briefly (epochs on a busy run are microseconds apart), then
+    // park on the futex-backed atomic wait so an idle or oversubscribed
+    // engine neither burns a core nor yield-storms.
+    int spins = 0;
+    while (epoch_seq_.load(std::memory_order_acquire) == seen) {
+      if (++spins > 4096) epoch_seq_.wait(seen, std::memory_order_acquire);
+    }
+    ++seen;
+    if (quit_.load(std::memory_order_acquire)) return;
+    RunClaimedShards();
+    finished_.fetch_add(1, std::memory_order_release);
+    finished_.notify_all();
+  }
+}
+
+void ShardedEngine::RunEpoch(Tick epoch_last) {
+  epoch_last_ = epoch_last;
+  active_.clear();
+  for (int i = 0; i < num_shards(); ++i) {
+    Simulator* s = shards_[static_cast<size_t>(i)].get();
+    if (!s->queue().empty() && s->queue().next_time() <= epoch_last) {
+      active_.push_back(i);
+    } else if (s->now() < epoch_last) {
+      // Idle shard: advance its clock directly so injected deliveries and
+      // later control-context At() calls see a consistent `now`.
+      s->StepUntil(epoch_last);
+    }
+  }
+  if (active_.empty()) return;
+  if (workers_.empty() || active_.size() == 1) {
+    // Serial fast path: identical schedule, no synchronization.
+    for (int i : active_) {
+      Simulator* s = shards_[static_cast<size_t>(i)].get();
+      tls_shard = i;
+      tls_sim = s;
+      s->StepUntil(epoch_last);
+      tls_shard = -1;
+      tls_sim = nullptr;
+    }
+    return;
+  }
+  // All workers are parked at the epoch_seq_ spin (enforced by last
+  // epoch's finished_ wait), so resetting the claim state here is safe.
+  next_claim_.store(0, std::memory_order_relaxed);
+  finished_.store(0, std::memory_order_relaxed);
+  epoch_seq_.fetch_add(1, std::memory_order_release);
+  epoch_seq_.notify_all();
+  RunClaimedShards();
+  const int nworkers = static_cast<int>(workers_.size());
+  int spins = 0;
+  int done;
+  while ((done = finished_.load(std::memory_order_acquire)) < nworkers) {
+    if (++spins > 4096) finished_.wait(done, std::memory_order_acquire);
+  }
+}
+
+void ShardedEngine::Barrier() {
+  ++epochs_;
+  if (barrier_fn_) barrier_fn_();
+}
+
+void ShardedEngine::EngineRunUntil(Tick deadline) {
+  // Replay sends buffered from control context (e.g. a Shutdown() between
+  // runs) before the first epoch: running an epoch first could advance a
+  // shard's clock past the buffered send's delivery time.
+  Barrier();
+  for (;;) {
+    const Tick t = NextEventTime();
+    if (t == kNone || t > deadline) break;
+    RunEpoch(std::min(t + lookahead_ - 1, deadline));
+    Barrier();
+  }
+  for (auto& s : shards_) {
+    if (s->now() < deadline) s->StepUntil(deadline);
+  }
+}
+
+void ShardedEngine::EngineRunToIdle() {
+  Barrier();  // see EngineRunUntil
+  for (;;) {
+    const Tick t = NextEventTime();
+    if (t == kNone) break;
+    RunEpoch(t + lookahead_ - 1);
+    Barrier();
+  }
+}
+
+}  // namespace gimbal::sim

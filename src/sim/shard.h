@@ -1,0 +1,114 @@
+// Conservative-lookahead parallel scheduler over per-shard simulators.
+//
+// A sharded testbed partitions the event space structurally: shard 0 owns
+// the client domain (initiators, workers, KV layer, crash timers) and each
+// further shard owns one target core together with every SSD pipeline
+// mapped onto it (GimbalSwitch/DRR/token bucket, device model, per-core
+// FifoResource). Within a shard, events execute exactly as on the serial
+// engine — same EventQueue, same (when, seq) ordering contract.
+//
+// Shards only interact through the fabric: an initiator-to-target
+// submission or a target-to-client completion always crosses the modeled
+// network and therefore arrives at least NetworkConfig::base_latency after
+// it was sent. That minimum is the engine's *lookahead* W, and it makes a
+// conservative PDES protocol safe (docs/SIMULATOR.md):
+//
+//   epoch k:  T = earliest pending event across all shards
+//             E = T + W            (exclusive epoch end)
+//             every shard runs its events in [T, E) independently
+//             barrier: cross-shard sends buffered during the epoch are
+//             folded into the shared link in one canonical order and
+//             injected into their destination shards; they all deliver at
+//             >= send_time + W >= E, so no shard ever receives an event in
+//             its past.
+//
+// Determinism: the schedule inside a shard never depends on other shards
+// within an epoch, and the barrier replays buffered sends in a canonical
+// (send_time, source shard, issue order) order — so the full event trace
+// is bit-identical for any worker-thread count, including 1. The thread
+// count only chooses how many shards execute concurrently per epoch.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/time.h"
+#include "sim/simulator.h"
+
+namespace gimbal::sim {
+
+class ShardedEngine : public Simulator::Engine {
+ public:
+  struct Config {
+    int threads = 1;  // worker pool size (clamped to [1, num_shards])
+    Tick lookahead = 0;  // min cross-shard latency; must be > 0
+    EventQueue::Impl impl = EventQueue::Impl::kTimingWheel;
+  };
+
+  ShardedEngine(int num_shards, const Config& config);
+  ~ShardedEngine() override;
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  Simulator& shard(int i) { return *shards_[i]; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int threads() const { return threads_; }
+
+  // Runs on the control thread at every epoch barrier (all shards
+  // quiescent) and once more when the engine goes idle. The testbed hooks
+  // the network's cross-shard replay and the trace merge here.
+  void set_barrier_fn(std::function<void()> fn) { barrier_fn_ = std::move(fn); }
+
+  // Simulator::Engine: shard 0 delegates its Run()/RunUntil() here, so
+  // `testbed.sim().RunUntil(t)` drives the whole sharded testbed.
+  void EngineRunUntil(Tick deadline) override;
+  void EngineRunToIdle() override;
+
+  // Epoch barriers executed so far (tests / bench reporting).
+  uint64_t epochs() const { return epochs_; }
+
+  // Shard context of the currently-executing event, or -1 / nullptr when
+  // no shard event is running (control thread between epochs, or a plain
+  // unsharded simulator). Thread-local.
+  static int CurrentShard();
+  static Simulator* CurrentSim();
+
+ private:
+  static constexpr Tick kNone = -1;
+
+  Tick NextEventTime() const;   // earliest pending event, or kNone
+  void RunEpoch(Tick epoch_last);  // all shards advance to epoch_last
+  void Barrier();
+  void WorkerMain();
+  void RunClaimedShards();      // claim loop shared by workers and control
+
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  Tick lookahead_;
+  int threads_;
+  std::function<void()> barrier_fn_;
+  uint64_t epochs_ = 0;
+
+  // Two-phase epoch barrier. The control thread prepares `active_` /
+  // `epoch_last_` / `next_claim_` while every worker is parked spinning on
+  // `epoch_seq_` (guaranteed because it waited for `finished_` to reach
+  // the worker count last epoch), publishes the epoch with a release
+  // increment of `epoch_seq_`, joins the claim loop itself, and then waits
+  // for all workers to post `finished_`. Workers spin hot briefly, then
+  // yield, then sleep, so an idle engine costs ~nothing between runs.
+  std::vector<int> active_;  // shard indices with events in this epoch
+  Tick epoch_last_ = 0;      // inclusive end of the current epoch
+  std::atomic<uint64_t> epoch_seq_{0};
+  std::atomic<uint64_t> next_claim_{0};
+  std::atomic<int> finished_{0};
+  std::atomic<bool> quit_{false};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gimbal::sim

@@ -1,5 +1,6 @@
 #include "workload/runner.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace gimbal::workload {
@@ -24,35 +25,97 @@ fabric::ThrottleMode ThrottleFor(Scheme s) {
   }
 }
 
-Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg), sim_(cfg_.queue_impl) {
+sim::Simulator& Testbed::SsdSim(int i) {
+  if (!engine_) return *sim_;
+  return engine_->shard(1 + (i % used_cores_));
+}
+
+obs::Observability* Testbed::SsdObs(int i) {
+  if (shard_obs_.empty()) return cfg_.obs;
+  return shard_obs_[static_cast<size_t>(1 + (i % used_cores_))].get();
+}
+
+Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg) {
   if (cfg_.obs && cfg_.run_label.empty()) cfg_.run_label = ToString(cfg_.scheme);
   if (cfg_.obs) cfg_.obs->metrics.set_run(cfg_.run_label);
+
+  // Sharding is structural, not a function of the thread count: the same
+  // shard/epoch schedule runs whether 1 or N threads execute it, which is
+  // what makes the determinism contract trivial to honor. A single-SSD
+  // testbed (or a zero-latency fabric, which admits no lookahead) keeps
+  // the original single-simulator path unchanged.
+  const bool sharded = cfg_.num_ssds > 1 && cfg_.net.base_latency > 0;
+  if (sharded) {
+    used_cores_ = std::min(cfg_.target.cores, cfg_.num_ssds);
+    sim::ShardedEngine::Config ec;
+    ec.threads = cfg_.threads;
+    ec.lookahead = cfg_.net.base_latency;
+    ec.impl = cfg_.queue_impl;
+    engine_ = std::make_unique<sim::ShardedEngine>(1 + used_cores_, ec);
+    sim_ = &engine_->shard(0);
+    if (cfg_.obs) {
+      shard_obs_.resize(static_cast<size_t>(engine_->num_shards()));
+      for (auto& o : shard_obs_) {
+        o = std::make_unique<obs::Observability>();
+        o->metrics.set_run(cfg_.run_label);
+      }
+    }
+    engine_->set_barrier_fn([this]() { OnEpochBarrier(); });
+  } else {
+    owned_sim_ = std::make_unique<sim::Simulator>(cfg_.queue_impl);
+    sim_ = owned_sim_.get();
+  }
+
   if (cfg_.check) {
     check_ = cfg_.check;
   } else {
     owned_check_ = std::make_unique<check::InvariantChecker>();
     check_ = owned_check_.get();
   }
-  check_->AttachSim(&sim_);
+  check_->AttachSim(sim_);
   if (cfg_.obs) check_->AttachTracer(&cfg_.obs->tracer);
-  net_ = std::make_unique<fabric::Network>(sim_, cfg_.net);
-  faults_ =
-      std::make_unique<fault::FaultInjector>(sim_, cfg_.num_ssds,
-                                             cfg_.fault_seed);
-  faults_->AttachObservability(cfg_.obs);
+  check_->SetConcurrent(engine_ && engine_->threads() > 1);
+
+  net_ = std::make_unique<fabric::Network>(*sim_, cfg_.net);
+  faults_ = std::make_unique<fault::FaultInjector>(*sim_, cfg_.num_ssds,
+                                                   cfg_.fault_seed);
+  if (engine_) {
+    std::vector<sim::Simulator*> ssd_sims(static_cast<size_t>(cfg_.num_ssds));
+    std::vector<obs::Observability*> ssd_obs(static_cast<size_t>(cfg_.num_ssds));
+    for (int i = 0; i < cfg_.num_ssds; ++i) {
+      ssd_sims[i] = &SsdSim(i);
+      ssd_obs[i] = shard_obs_.empty() ? nullptr : SsdObs(i);
+    }
+    net_->ConfigureSharded(sim_, ssd_sims, engine_->num_shards());
+    faults_->ConfigureShards(ssd_sims, ssd_obs);
+  }
+  // Client-side components record into shard 0's private observability
+  // under sharding, so their events merge into the session tracer in
+  // timestamp order with everything else.
+  obs::Observability* client_obs =
+      shard_obs_.empty() ? cfg_.obs : shard_obs_[0].get();
+  faults_->AttachObservability(client_obs);
   const bool faulted = !cfg_.faults.empty();
   if (!cfg_.faults.link_flaps.empty()) net_->set_fault_injector(faults_.get());
   faults_->AttachChecker(check_);
-  target_ = std::make_unique<fabric::Target>(sim_, *net_, cfg_.target);
+
+  target_ = std::make_unique<fabric::Target>(*sim_, *net_, cfg_.target);
+  if (engine_) {
+    std::vector<sim::Simulator*> core_sims(
+        static_cast<size_t>(cfg_.target.cores), sim_);
+    for (int c = 0; c < used_cores_; ++c) core_sims[c] = &engine_->shard(1 + c);
+    target_->ConfigureShards(core_sims);
+  }
   // Attach before AddPipeline so policies resolve handles as they appear.
   target_->AttachObservability(cfg_.obs);
   target_->AttachChecker(check_);
   for (int i = 0; i < cfg_.num_ssds; ++i) {
+    sim::Simulator& psim = SsdSim(i);
     if (cfg_.use_null_device) {
-      devices_.push_back(std::make_unique<ssd::NullDevice>(sim_));
+      devices_.push_back(std::make_unique<ssd::NullDevice>(psim));
       ssds_.push_back(nullptr);
     } else {
-      auto dev = std::make_unique<ssd::Ssd>(sim_, cfg_.ssd);
+      auto dev = std::make_unique<ssd::Ssd>(psim, cfg_.ssd);
       if (cfg_.condition == SsdCondition::kClean) {
         dev->PreconditionClean();
       } else {
@@ -65,10 +128,11 @@ Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg), sim_(cfg_.queue_impl) {
       // Interpose the fault layer between the policy and the device model;
       // ssd(i) still exposes the inner model for preconditioning/stats.
       devices_[i] = std::make_unique<fault::FaultyDevice>(
-          sim_, std::move(devices_[i]), *faults_, i);
+          psim, std::move(devices_[i]), *faults_, i);
     }
-    if (cfg_.obs) devices_.back()->AttachObservability(cfg_.obs, i);
-    int id = target_->AddPipeline(MakePolicy(*devices_.back()));
+    if (cfg_.obs) devices_.back()->AttachObservability(SsdObs(i), i);
+    int id = target_->AddPipeline(MakePolicy(psim, *devices_.back()),
+                                  shard_obs_.empty() ? nullptr : SsdObs(i));
     assert(id == i);
     (void)id;
     // Health transitions reach the pipeline's policy (fail-fast drain on
@@ -81,21 +145,73 @@ Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg), sim_(cfg_.queue_impl) {
   if (faulted) faults_->Schedule(cfg_.faults);
 }
 
-std::unique_ptr<core::IoPolicy> Testbed::MakePolicy(ssd::BlockDevice& dev) {
+Testbed::~Testbed() {
+  // Shard tracers merge at every epoch barrier; metrics merge here (and at
+  // the end of every Run), while everything is still alive and quiescent.
+  MergeShardTracers();
+  FlushShardMetrics();
+}
+
+void Testbed::OnEpochBarrier() {
+  MergeShardTracers();
+  net_->ReplayPending();
+}
+
+void Testbed::MergeShardTracers() {
+  if (!cfg_.obs || shard_obs_.empty()) return;
+  obs::EventTracer& session = cfg_.obs->tracer;
+  if (!session.enabled()) return;
+  merge_buf_.clear();
+  for (auto& o : shard_obs_) {
+    obs::EventTracer& t = o->tracer;
+    if (!t.enabled()) {
+      // Session tracer enabled after construction: bring the shard tracer
+      // up now; events before this point are lost exactly as they would be
+      // with a late Enable() in plain mode.
+      t.Enable(session.limit());
+      continue;
+    }
+    for (const obs::EventTracer::Event& e : t.events()) {
+      merge_buf_.push_back(e);
+    }
+    session.AddDropped(t.dropped());
+    t.Clear();
+  }
+  // Canonical (ts, shard) order: per-shard buffers are time-sorted, and
+  // they were appended in shard order, so a stable sort by timestamp alone
+  // lands every event in its final position regardless of thread count.
+  std::stable_sort(merge_buf_.begin(), merge_buf_.end(),
+                   [](const obs::EventTracer::Event& a,
+                      const obs::EventTracer::Event& b) { return a.ts < b.ts; });
+  for (const obs::EventTracer::Event& e : merge_buf_) session.Append(e);
+}
+
+void Testbed::FlushShardMetrics() {
+  if (!cfg_.obs || shard_obs_.empty()) return;
+  for (auto& o : shard_obs_) {
+    cfg_.obs->metrics.MergeFrom(o->metrics);
+    // Zero the merged-out counters/histograms so the next flush adds only
+    // the delta; gauges keep their values and overwrite idempotently.
+    o->metrics.ResetRun(cfg_.run_label);
+  }
+}
+
+std::unique_ptr<core::IoPolicy> Testbed::MakePolicy(sim::Simulator& psim,
+                                                    ssd::BlockDevice& dev) {
   switch (cfg_.scheme) {
     case Scheme::kVanilla:
-      return std::make_unique<baselines::FcfsPolicy>(sim_, dev);
+      return std::make_unique<baselines::FcfsPolicy>(psim, dev);
     case Scheme::kReflex:
-      return std::make_unique<baselines::ReflexPolicy>(sim_, dev, cfg_.reflex);
+      return std::make_unique<baselines::ReflexPolicy>(psim, dev, cfg_.reflex);
     case Scheme::kParda:
-      return std::make_unique<baselines::PardaPolicy>(sim_, dev);
+      return std::make_unique<baselines::PardaPolicy>(psim, dev);
     case Scheme::kFlashFq:
-      return std::make_unique<baselines::FlashFqPolicy>(sim_, dev,
+      return std::make_unique<baselines::FlashFqPolicy>(psim, dev,
                                                         cfg_.flashfq);
     case Scheme::kGimbal:
-      return std::make_unique<core::GimbalSwitch>(sim_, dev, cfg_.gimbal);
+      return std::make_unique<core::GimbalSwitch>(psim, dev, cfg_.gimbal);
     case Scheme::kTimeslice:
-      return std::make_unique<baselines::TimeslicePolicy>(sim_, dev,
+      return std::make_unique<baselines::TimeslicePolicy>(psim, dev,
                                                           cfg_.timeslice);
   }
   return nullptr;
@@ -109,10 +225,12 @@ core::GimbalSwitch* Testbed::gimbal_switch(int i) {
 
 fabric::Initiator& Testbed::AddInitiator(
     int ssd_index, std::optional<fabric::ThrottleMode> throttle) {
+  obs::Observability* client_obs =
+      shard_obs_.empty() ? cfg_.obs : shard_obs_[0].get();
   initiators_.push_back(std::make_unique<fabric::Initiator>(
-      sim_, *net_, *target_, ssd_index, next_tenant_++,
+      *sim_, *net_, *target_, ssd_index, next_tenant_++,
       throttle.value_or(ThrottleFor(cfg_.scheme)), cfg_.parda, cfg_.retry));
-  initiators_.back()->AttachObservability(cfg_.obs);
+  initiators_.back()->AttachObservability(cfg_.obs ? client_obs : nullptr);
   initiators_.back()->AttachChecker(check_);
   return *initiators_.back();
 }
@@ -122,19 +240,25 @@ FioWorker& Testbed::AddWorker(FioSpec spec, int ssd_index) {
     spec.region_bytes = device(ssd_index).capacity_bytes();
   }
   fabric::Initiator& init = AddInitiator(ssd_index);
-  workers_.push_back(std::make_unique<FioWorker>(sim_, init, spec));
+  workers_.push_back(std::make_unique<FioWorker>(*sim_, init, spec));
   return *workers_.back();
 }
 
 void Testbed::Run(Tick warmup, Tick measure) {
   for (auto& w : workers_) w->Start();
-  sim_.RunUntil(sim_.now() + warmup);
+  sim_->RunUntil(sim_->now() + warmup);
   for (auto& w : workers_) w->stats().Reset();
   // Align metric totals with the workers' measurement window (gauges and
   // latency EWMAs keep their warmed-up values; counters/histograms restart).
-  if (cfg_.obs) cfg_.obs->metrics.ResetRun(cfg_.run_label);
-  sim_.RunUntil(sim_.now() + measure);
+  if (cfg_.obs) {
+    cfg_.obs->metrics.ResetRun(cfg_.run_label);
+    for (auto& o : shard_obs_) o->metrics.ResetRun(cfg_.run_label);
+  }
+  sim_->RunUntil(sim_->now() + measure);
   measured_ = measure;
+  // Make this run's shard-recorded totals visible to callers that read the
+  // session registry while the testbed is still alive.
+  FlushShardMetrics();
 }
 
 double StandaloneBandwidth(const TestbedConfig& cfg, const FioSpec& spec,

@@ -3,6 +3,18 @@
 // one IoPolicy per SSD for the chosen scheme, initiators and fio workers —
 // mirroring the §5.1 methodology so each bench stays a thin declaration of
 // its workload matrix.
+//
+// Sharded execution (docs/SIMULATOR.md): a testbed with more than one SSD
+// and a positive fabric base latency is built on a ShardedEngine — shard 0
+// hosts the client domain (initiators, workers, crash timers), and each
+// used target core hosts its pipelines, SSD models and fault state on its
+// own shard. Cross-shard traffic flows only through the Network, which
+// buffers sends per shard and replays them in one canonical order at every
+// epoch barrier. TestbedConfig::threads sizes the worker pool; the
+// schedule — and so every trace digest and golden figure — is bit-identical
+// for any thread count, because threads only execute independently-claimed
+// shards within conservative-lookahead epochs. Single-SSD (or zero-latency)
+// testbeds keep the exact pre-sharding single-simulator path.
 #pragma once
 
 #include <memory>
@@ -23,6 +35,7 @@
 #include "fault/fault.h"
 #include "fault/faulty_device.h"
 #include "obs/obs.h"
+#include "sim/shard.h"
 #include "sim/simulator.h"
 #include "ssd/null_device.h"
 #include "ssd/ssd.h"
@@ -54,6 +67,13 @@ struct TestbedConfig {
   baselines::TimesliceParams timeslice = {};
   bool use_null_device = false;  // Table 1b's NULL bdev mode
 
+  // Worker threads for the sharded engine (see file header). 1 — the
+  // default — runs the sharded schedule on the calling thread alone; N > 1
+  // adds N-1 workers. Has no effect on single-SSD testbeds and NO effect
+  // on results at any value: determinism is a hard contract, enforced by
+  // the golden-figure suite at several thread counts.
+  int threads = 1;
+
   // Fault injection (docs/FAULTS.md). A non-empty plan wraps every SSD in
   // a FaultyDevice, routes fabric messages through the injector when link
   // flaps are scheduled, and drives each pipeline's policy with its SSD's
@@ -65,7 +85,7 @@ struct TestbedConfig {
   uint64_t fault_seed = 1;
   fabric::RetryParams retry = {};
 
-  // Event-queue engine under the simulator. The timing wheel is the
+  // Event-queue engine under the simulator(s). The timing wheel is the
   // production default; the reference heap is kept as an ordering oracle so
   // determinism tests can replay the same testbed on both engines and
   // compare trace digests bit-for-bit (docs/SIMULATOR.md).
@@ -75,7 +95,10 @@ struct TestbedConfig {
   // testbed attaches them to the target, every policy and every SSD, and
   // labels everything it emits with `run_label` (defaults to the scheme
   // name). Run(warmup, ...) resets this run's counters at the end of
-  // warmup so metric totals cover exactly the measurement window.
+  // warmup so metric totals cover exactly the measurement window. Under
+  // sharding each shard records into a private Observability; tracers are
+  // merged into this one in canonical (ts, shard) order at every epoch
+  // barrier, metrics at the end of every Run() and at teardown.
   obs::Observability* obs = nullptr;
   std::string run_label;
 
@@ -89,8 +112,14 @@ struct TestbedConfig {
 class Testbed {
  public:
   explicit Testbed(TestbedConfig cfg);
+  ~Testbed();
 
-  sim::Simulator& sim() { return sim_; }
+  // The client-domain simulator (shard 0 under sharding). Run()/RunUntil()
+  // on it drive the whole engine, so call sites never care which mode the
+  // testbed was built in.
+  sim::Simulator& sim() { return *sim_; }
+  // The engine behind a sharded testbed; null in single-simulator mode.
+  sim::ShardedEngine* engine() { return engine_.get(); }
   fabric::Network& net() { return *net_; }
   fabric::Target& target() { return *target_; }
   ssd::BlockDevice& device(int i) { return *devices_[i]; }
@@ -131,10 +160,31 @@ class Testbed {
   Tick measured() const { return measured_; }
 
  private:
-  std::unique_ptr<core::IoPolicy> MakePolicy(ssd::BlockDevice& dev);
+  std::unique_ptr<core::IoPolicy> MakePolicy(sim::Simulator& psim,
+                                             ssd::BlockDevice& dev);
+  // The simulator pipeline/SSD i executes on (sim_ in plain mode).
+  sim::Simulator& SsdSim(int i);
+  // The observability pipeline/SSD i records into (cfg.obs in plain mode).
+  obs::Observability* SsdObs(int i);
+  // Barrier work: replay buffered fabric sends, fold shard tracers into
+  // the session tracer in (ts, shard) order.
+  void OnEpochBarrier();
+  void MergeShardTracers();
+  // Fold shard metric registries into the session registry (delta since
+  // the previous flush; gauges overwrite idempotently).
+  void FlushShardMetrics();
 
   TestbedConfig cfg_;
-  sim::Simulator sim_;
+  // Destruction order matters, bottom-up at the `}`: components hold
+  // references into the shard simulators, so the engine is declared first
+  // (destroyed last), and the checker before everything it observes.
+  std::unique_ptr<sim::ShardedEngine> engine_;  // sharded mode only
+  std::unique_ptr<sim::Simulator> owned_sim_;   // plain mode only
+  sim::Simulator* sim_ = nullptr;               // client-domain simulator
+  int used_cores_ = 0;  // target cores that actually host pipelines
+  // Per-shard observability (index = shard id), sharded + observed only.
+  std::vector<std::unique_ptr<obs::Observability>> shard_obs_;
+  std::vector<obs::EventTracer::Event> merge_buf_;
   // Owned checker when cfg.check is null; declared before the components
   // it observes so it outlives their destructors.
   std::unique_ptr<check::InvariantChecker> owned_check_;

@@ -146,6 +146,59 @@ TEST(DualTokenBucket, NegativeBalanceAllowedViaConsume) {
   EXPECT_FALSE(b.HasTokens(IoType::kWrite, 256 * 1024));
 }
 
+TEST(DualTokenBucket, RefillEtaTrivialCases) {
+  GimbalParams p = Params();
+  DualTokenBucket b(p);
+  b.Update(0, 100e6, 1.0);
+  b.Update(Milliseconds(4), 100e6, 1.0);  // plenty on both sides
+  EXPECT_EQ(b.RefillEta(IoType::kRead, 4096, 100e6, 1.0), 0);
+  EXPECT_EQ(b.RefillEta(IoType::kWrite, 1 << 20, 0.0, 1.0),
+            DualTokenBucket::kNever);
+}
+
+TEST(DualTokenBucket, RefillEtaWriteSideUsesSplitRate) {
+  // Regression: with write cost 9 the write bucket earns only 1/(1+wc) =
+  // 1/10 of the fill rate until the read bucket caps and spills. The old
+  // estimate used the unsplit rate throughout, so write-side pacing pokes
+  // fired up to 9x too early and Pump() busy-repolled with no tokens.
+  GimbalParams p = Params();  // bucket_cap_bytes = 128 KiB
+  DualTokenBucket b(p);
+  b.Update(0, 100e6, 9.0);  // arm the clock; both buckets empty
+  const uint64_t need = 128 * 1024;
+  const Tick eta = b.RefillEta(IoType::kWrite, need, 100e6, 9.0);
+  // Analytic: read side caps after 128 KiB / 90 MB/s ~ 1.46 ms, by which
+  // the write side has ~14.6 KB; the rest arrives at the full 100 MB/s,
+  // ~2.62 ms total. The naive unsplit estimate is 128 KiB / 100 MB/s
+  // ~ 1.31 ms — firing there finds less than half the tokens.
+  EXPECT_GT(eta, Microseconds(2500));
+  EXPECT_LT(eta, Microseconds(2800));
+  // The poke must not fire short: accruing until the ETA covers the IO...
+  DualTokenBucket ok(p);
+  ok.Update(0, 100e6, 9.0);
+  ok.Update(eta, 100e6, 9.0);
+  EXPECT_TRUE(ok.HasTokens(IoType::kWrite, need));
+  // ...while the naive unsplit ETA would not even come close.
+  DualTokenBucket early(p);
+  early.Update(0, 100e6, 9.0);
+  early.Update(Microseconds(1311), 100e6, 9.0);
+  EXPECT_FALSE(early.HasTokens(IoType::kWrite, need));
+}
+
+TEST(DualTokenBucket, RefillEtaAccountsForSpillFromFullSibling) {
+  // When the sibling bucket is already at capacity its share spills
+  // immediately, so tokens arrive at the full rate from t=0.
+  GimbalParams p = Params();
+  DualTokenBucket b(p);
+  b.Update(0, 800e6, 9.0);
+  b.Update(Milliseconds(2), 800e6, 9.0);  // both buckets capped
+  b.Consume(IoType::kWrite, 128 * 1024);  // drain the write side
+  const Tick eta = b.RefillEta(IoType::kWrite, 128 * 1024, 100e6, 9.0);
+  // 128 KiB at the full 100 MB/s ~ 1.31 ms; the split-rate-only estimate
+  // would claim ~13 ms and stall the pacer for a decade of service time.
+  EXPECT_GT(eta, Microseconds(1200));
+  EXPECT_LT(eta, Microseconds(1450));
+}
+
 // ---------------------------------------------------------------------------
 // WriteCostEstimator
 // ---------------------------------------------------------------------------

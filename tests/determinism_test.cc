@@ -108,6 +108,88 @@ uint64_t FaultedDigest(sim::EventQueue::Impl impl, uint64_t seed) {
   return obs.tracer.Digest();
 }
 
+// Multi-SSD testbed → the sharded engine (docs/SIMULATOR.md): shard 0 is
+// the client domain, each used target core a shard of its own. The digest
+// must not depend on how many worker threads execute the shards.
+uint64_t ShardedDigest(sim::EventQueue::Impl impl, int threads,
+                       uint64_t seed) {
+  obs::Observability obs;
+  obs.tracer.Enable(kTraceLimit);
+  TestbedConfig cfg;
+  cfg.num_ssds = 3;  // < target cores (4): one pipeline per core shard
+  cfg.scheme = Scheme::kGimbal;
+  cfg.condition = SsdCondition::kClean;
+  cfg.ssd.logical_bytes = 128ull << 20;
+  cfg.queue_impl = impl;
+  cfg.threads = threads;
+  cfg.obs = &obs;
+  cfg.run_label = "determinism_sharded";
+  Testbed bed(cfg);
+  for (int s = 0; s < cfg.num_ssds; ++s) {
+    FioSpec victim;
+    victim.io_bytes = 4096;
+    victim.queue_depth = 16;
+    victim.seed = seed + static_cast<uint64_t>(s);
+    bed.AddWorker(victim, s);
+    FioSpec neighbor;
+    neighbor.io_bytes = 131072;
+    neighbor.queue_depth = 4;
+    neighbor.read_ratio = 0.0;
+    neighbor.seed = seed + 1000 + static_cast<uint64_t>(s);
+    bed.AddWorker(neighbor, s);
+  }
+  bed.Run(Milliseconds(5), Milliseconds(15));
+  EXPECT_EQ(obs.tracer.dropped(), 0u);
+  return obs.tracer.Digest();
+}
+
+// The faulted variant stresses the riskiest cross-shard machinery: per-SSD
+// fault RNG streams, link-flap draws at barrier replay, a device failure
+// on one shard and a tenant crash timer on the client shard.
+uint64_t ShardedFaultedDigest(int threads, uint64_t seed) {
+  obs::Observability obs;
+  obs.tracer.Enable(kTraceLimit);
+  TestbedConfig cfg;
+  cfg.num_ssds = 2;
+  cfg.scheme = Scheme::kGimbal;
+  cfg.condition = SsdCondition::kClean;
+  cfg.ssd.logical_bytes = 128ull << 20;
+  cfg.threads = threads;
+  cfg.obs = &obs;
+  cfg.run_label = "determinism_sharded_faults";
+  cfg.fault_seed = seed;
+  cfg.retry.io_timeout = Milliseconds(2);
+  cfg.retry.keepalive_interval = Milliseconds(1);
+  cfg.target.session_timeout = Milliseconds(5);
+  cfg.faults.stalls.push_back(
+      {0, Milliseconds(8), Milliseconds(14), Microseconds(500)});
+  cfg.faults.media_errors.push_back(
+      {1, Milliseconds(12), Milliseconds(20), 0.1, Microseconds(200)});
+  cfg.faults.link_flaps.push_back(
+      {Milliseconds(16), Milliseconds(19), 0.05, Microseconds(10)});
+  cfg.faults.failures.push_back({0, Milliseconds(22), Milliseconds(26)});
+  Testbed bed(cfg);
+  for (int s = 0; s < cfg.num_ssds; ++s) {
+    FioSpec spec;
+    spec.io_bytes = 4096;
+    spec.queue_depth = 8;
+    spec.seed = seed + 100 * static_cast<uint64_t>(s + 1);
+    bed.AddWorker(spec, s);
+  }
+  fabric::Initiator& crasher = bed.workers()[0]->initiator();
+  bed.faults().ScheduleTenantCrash(Milliseconds(18), crasher.tenant(),
+                                   [&crasher]() { crasher.Crash(); });
+  for (auto& w : bed.workers()) w->Start();
+  bed.sim().RunUntil(Milliseconds(32));
+  for (auto& w : bed.workers()) w->Stop();
+  for (auto& ini : bed.initiators()) {
+    if (!ini->shutdown()) ini->Shutdown();
+  }
+  bed.sim().Run();
+  EXPECT_EQ(obs.tracer.dropped(), 0u);
+  return obs.tracer.Digest();
+}
+
 class DeterminismGolden : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(DeterminismGolden, InterferenceTraceDigestIsStable) {
@@ -136,6 +218,31 @@ TEST_P(DeterminismGolden, FaultedTraceDigestIsStable) {
       FaultedDigest(sim::EventQueue::Impl::kReferenceHeap, seed);
   EXPECT_EQ(wheel1, heap)
       << "timing wheel and reference heap diverged, seed " << seed;
+}
+
+TEST_P(DeterminismGolden, ShardedDigestInvariantAcrossThreadCounts) {
+  const uint64_t seed = GetParam();
+  const uint64_t serial =
+      ShardedDigest(sim::EventQueue::Impl::kTimingWheel, 1, seed);
+  const uint64_t t2 =
+      ShardedDigest(sim::EventQueue::Impl::kTimingWheel, 2, seed);
+  EXPECT_EQ(serial, t2) << "threads=2 diverged from serial, seed " << seed;
+  const uint64_t t4 =
+      ShardedDigest(sim::EventQueue::Impl::kTimingWheel, 4, seed);
+  EXPECT_EQ(serial, t4) << "threads=4 diverged from serial, seed " << seed;
+  const uint64_t heap4 =
+      ShardedDigest(sim::EventQueue::Impl::kReferenceHeap, 4, seed);
+  EXPECT_EQ(serial, heap4)
+      << "reference heap at threads=4 diverged, seed " << seed;
+}
+
+TEST_P(DeterminismGolden, ShardedFaultedDigestInvariantAcrossThreadCounts) {
+  const uint64_t seed = GetParam();
+  const uint64_t serial = ShardedFaultedDigest(1, seed);
+  const uint64_t t2 = ShardedFaultedDigest(2, seed);
+  EXPECT_EQ(serial, t2) << "threads=2 diverged from serial, seed " << seed;
+  const uint64_t t4 = ShardedFaultedDigest(4, seed);
+  EXPECT_EQ(serial, t4) << "threads=4 diverged from serial, seed " << seed;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismGolden,

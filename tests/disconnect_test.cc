@@ -42,6 +42,43 @@ TEST(Disconnect, SchedulerFailsQueuedAndReapsState) {
   EXPECT_EQ(sw.io_outstanding(), 0u);
 }
 
+TEST(Disconnect, ChurnWithLateCompletionsLeavesNoGhostState) {
+  // Regression: a completion arriving after its tenant's state was reaped
+  // (disconnect + last inflight drained) used to re-create the tenant via
+  // the GetTenant path — a ghost entry in tenants_/busy_flags_ that
+  // nothing ever erased, so long-running targets leaked one entry per
+  // churned tenant. Late/duplicate completions must be dropped and
+  // counted, never resurrect state.
+  core::GimbalParams p;
+  core::WriteCostEstimator cost(p);
+  core::DrrScheduler sched(p, cost);
+  uint64_t id = 0;
+  for (TenantId t = 1; t <= 2000; ++t) {
+    // Two IOs: one goes inflight, one stays queued at disconnect.
+    for (int k = 0; k < 2; ++k) {
+      IoRequest r;
+      r.id = ++id;
+      r.tenant = t;
+      r.type = IoType::kRead;
+      r.length = 4096;
+      sched.Enqueue(r);
+    }
+    auto s = sched.Dequeue();
+    ASSERT_TRUE(s.has_value());
+    std::vector<IoRequest> failed = sched.Disconnect(t);
+    EXPECT_EQ(failed.size(), 1u);
+    // The inflight IO's completion lands after the disconnect and reaps
+    // the tenant; its duplicate (a retransmitted completion capsule) then
+    // finds no state and must be dropped as an orphan.
+    sched.OnCompletion(t, s->slot_id);
+    sched.OnCompletion(t, s->slot_id);
+  }
+  EXPECT_EQ(sched.tenant_count(), 0u);
+  EXPECT_EQ(sched.orphan_completions(), 2000u);
+  EXPECT_EQ(sched.pass_exhausted(), 0u);
+  EXPECT_FALSE(sched.Dequeue().has_value());
+}
+
 TEST(Disconnect, UnknownTenantIsNoop) {
   sim::Simulator sim;
   ssd::NullDevice dev(sim, 1ull << 30);

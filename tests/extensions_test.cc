@@ -57,6 +57,54 @@ TEST(TenantWeights, ProportionalService) {
   EXPECT_LT(ratio, 4.0);
 }
 
+TEST(TenantWeights, TinyWeightTenantStillProgresses) {
+  // Regression: a weight so small that weight x quantum truncates to zero
+  // whole bytes per round used to starve the tenant forever — every DRR
+  // rotation granted nothing and Dequeue burned its pass budget. The
+  // scheduler now bulk-grants the minimum number of whole rounds that
+  // covers the head-of-line IO (BoostStarvedRound), so even a 1e-6-weight
+  // tenant drains, with no pass-exhaustion fallback.
+  GimbalParams p;
+  WriteCostEstimator cost(p);
+  DrrScheduler sched(p, cost);
+  sched.SetTenantWeight(1, 1e-6);
+  for (int i = 0; i < 16; ++i) sched.Enqueue(Req(1, 128 * 1024));
+  int served = 0;
+  for (int i = 0; i < 16; ++i) {
+    auto s = sched.Dequeue();
+    ASSERT_TRUE(s.has_value()) << "starved after " << served << " serves";
+    EXPECT_EQ(s->req.tenant, 1u);
+    ++served;
+    sched.OnCompletion(s->req.tenant, s->slot_id);
+  }
+  EXPECT_EQ(served, 16);
+  EXPECT_EQ(sched.pass_exhausted(), 0u);
+  EXPECT_FALSE(sched.Dequeue().has_value());  // drained, not wedged
+}
+
+TEST(TenantWeights, TinyWeightSharesWithNormalTenant) {
+  // Same fix, contended: the tiny-weight tenant must still make progress
+  // (strict DRR proportions would make its turn astronomically rare; the
+  // starvation boost only fires when a full rotation serves nothing, so
+  // progress rides on the normal tenant going idle, not on proportions).
+  GimbalParams p;
+  WriteCostEstimator cost(p);
+  DrrScheduler sched(p, cost);
+  sched.SetTenantWeight(1, 1e-6);
+  for (int i = 0; i < 4; ++i) sched.Enqueue(Req(1, 4096));
+  for (int i = 0; i < 40; ++i) sched.Enqueue(Req(2, 128 * 1024));
+  int served[3] = {0, 0, 0};
+  for (int i = 0; i < 44; ++i) {
+    auto s = sched.Dequeue();
+    ASSERT_TRUE(s.has_value());
+    ++served[s->req.tenant];
+    sched.OnCompletion(s->req.tenant, s->slot_id);
+  }
+  EXPECT_EQ(served[1], 4);
+  EXPECT_EQ(served[2], 40);
+  EXPECT_EQ(sched.pass_exhausted(), 0u);
+}
+
 TEST(TenantWeights, EndToEndBandwidthSplit) {
   // Weights govern when the scheduler (not the per-tenant slot cap) is the
   // limiting stage: raise the slot threshold and let the SSD's capacity be
