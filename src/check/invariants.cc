@@ -317,24 +317,54 @@ void InvariantChecker::OnDrrPassExhausted(int ssd, uint64_t passes,
                  passes, active, queued));
 }
 
-void InvariantChecker::ResetSkewBaselines(DrrState& d) {
-  for (auto& [tenant, base] : d.base) base = d.service[tenant];
-}
-
 void InvariantChecker::OnDrrBacklog(TenantId tenant, int ssd,
                                     bool backlogged) {
   const LockGuard lock(*this);
   DrrState& d = drr_[ssd];
-  const bool member = d.base.count(tenant) != 0;
+  const uint32_t pos = d.index.Find(tenant);
+  const bool member = pos != common::IdIndexMap::kNotFound;
   if (backlogged == member) return;  // idempotent: no membership change
-  if (backlogged) {
-    d.base.emplace(tenant, 0.0);
-  } else {
-    d.base.erase(tenant);
-  }
   // Fairness is only promised between tenants backlogged over the same
   // interval; any membership change starts a fresh comparison epoch.
-  ResetSkewBaselines(d);
+  // Members re-baseline lazily at their first serve of the new epoch —
+  // they receive no service before that serve, so the captured baseline is
+  // identical to an eager reset at O(1) cost per membership change.
+  ++d.epoch;
+  d.serves_since_scan = 0;
+  if (backlogged) {
+    d.index.Put(tenant, static_cast<uint32_t>(d.members.size()));
+    d.members.push_back(DrrMember{tenant, 0.0, 0.0, d.epoch});
+  } else {
+    const uint32_t last = static_cast<uint32_t>(d.members.size() - 1);
+    if (pos != last) {
+      d.members[pos] = d.members[last];
+      d.index.Put(d.members[pos].tenant, pos);
+    }
+    d.members.pop_back();
+    d.index.Erase(tenant);
+  }
+}
+
+void InvariantChecker::CheckDrrSkew(const DrrState& d, int ssd) {
+  double lo = 0.0, hi = 0.0;
+  bool first = true;
+  TenantId lo_t = 0, hi_t = 0;
+  for (const DrrMember& m : d.members) {
+    // A member unserved since the last membership change sits exactly at
+    // its (pending) baseline.
+    const double rel = m.epoch == d.epoch ? m.service - m.base : 0.0;
+    if (first || rel < lo) { lo = rel; lo_t = m.tenant; }
+    if (first || rel > hi) { hi = rel; hi_t = m.tenant; }
+    first = false;
+  }
+  const double bound =
+      kSkewRounds * static_cast<double>(d.quantum + d.max_weighted);
+  if (hi - lo > bound) {
+    Violate("drr.service.skew", hi_t, ssd,
+            Format("normalized service skew %.0f (tenant %u ahead of %u) "
+                   "exceeds %.0f over one backlogged epoch",
+                   hi - lo, hi_t, lo_t, bound));
+  }
 }
 
 void InvariantChecker::OnDrrServe(TenantId tenant, int ssd,
@@ -343,25 +373,25 @@ void InvariantChecker::OnDrrServe(TenantId tenant, int ssd,
   ++checks_run_;
   DrrState& d = drr_[ssd];
   if (weight <= 0.0) weight = 1.0;
-  d.service[tenant] += static_cast<double>(weighted_bytes) / weight;
-  if (d.base.size() < 2) return;
-  double lo = 0.0, hi = 0.0;
-  bool first = true;
-  TenantId lo_t = 0, hi_t = 0;
-  for (const auto& [t, base] : d.base) {
-    const double rel = d.service[t] - base;
-    if (first || rel < lo) { lo = rel; lo_t = t; }
-    if (first || rel > hi) { hi = rel; hi_t = t; }
-    first = false;
+  const uint32_t pos = d.index.Find(tenant);
+  // A serve for a tenant outside the backlogged set has no comparison
+  // peers; the old lifetime-service ledger ignored it for skew purposes
+  // too (it was never in the baseline map).
+  if (pos == common::IdIndexMap::kNotFound) return;
+  DrrMember& m = d.members[pos];
+  if (m.epoch != d.epoch) {  // lazy re-baseline (see OnDrrBacklog)
+    m.base = m.service;
+    m.epoch = d.epoch;
   }
-  const double bound =
-      kSkewRounds * static_cast<double>(d.quantum + d.max_weighted);
-  if (hi - lo > bound) {
-    Violate("drr.service.skew", tenant, ssd,
-            Format("normalized service skew %.0f (tenant %u ahead of %u) "
-                   "exceeds %.0f over one backlogged epoch",
-                   hi - lo, hi_t, lo_t, bound));
-  }
+  m.service += static_cast<double>(weighted_bytes) / weight;
+  if (d.members.size() < 2) return;
+  // Amortize the O(members) min/max scan: run it once every |members|
+  // serves. Detection lags by at most one scan period, which a linearly
+  // diverging scheduler crosses within the same order of simulated time;
+  // per-serve checker cost stays O(1) no matter how many tenants churn.
+  if (++d.serves_since_scan < d.members.size()) return;
+  d.serves_since_scan = 0;
+  CheckDrrSkew(d, ssd);
 }
 
 void InvariantChecker::OnSlotOpen(TenantId tenant, int ssd,
@@ -479,35 +509,33 @@ void InvariantChecker::OnHealthTransition(int ssd, int from, int to) {
 bool InvariantChecker::CheckDrained() {
   const LockGuard lock(*this);
   const size_t before = violations_.size();
-  for (const auto& [key, c] : clients_) {
-    const auto tenant = static_cast<TenantId>(key >> 16);
-    const int ssd = static_cast<int>(key & 0xffff);
+  for (const uint32_t slot : clients_.live()) {
+    const ClientLedger& c = clients_[slot];
     ++checks_run_;
     if (c.terminal != c.admitted) {
-      Violate("drain.client.balance", tenant, ssd,
+      Violate("drain.client.balance", c.tenant, c.ssd,
               Format("admitted=%" PRIu64 " but terminal=%" PRIu64
                      " after drain",
                      c.admitted, c.terminal));
     }
     if (c.terminal_issued != c.issued) {
-      Violate("drain.client.balance", tenant, ssd,
+      Violate("drain.client.balance", c.tenant, c.ssd,
               Format("issued=%" PRIu64 " but terminal_issued=%" PRIu64
                      " after drain",
                      c.issued, c.terminal_issued));
     }
   }
-  for (const auto& [key, p] : policies_) {
-    const auto tenant = static_cast<TenantId>(key >> 16);
-    const int ssd = static_cast<int>(key & 0xffff);
+  for (const uint32_t slot : policies_.live()) {
+    const PolicyLedger& p = policies_[slot];
     ++checks_run_;
     if (p.delivered + p.failed != p.target_admitted) {
-      Violate("drain.policy.balance", tenant, ssd,
+      Violate("drain.policy.balance", p.tenant, p.ssd,
               Format("target admits=%" PRIu64 " but delivered=%" PRIu64
                      " + failed=%" PRIu64 " after drain",
                      p.target_admitted, p.delivered, p.failed));
     }
     if (p.device_returns != p.dispatched) {
-      Violate("drain.policy.balance", tenant, ssd,
+      Violate("drain.policy.balance", p.tenant, p.ssd,
               Format("dispatched=%" PRIu64 " but device returns=%" PRIu64
                      " after drain",
                      p.dispatched, p.device_returns));

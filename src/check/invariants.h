@@ -46,6 +46,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/index_arena.h"
 #include "common/time.h"
 #include "nvme/types.h"
 #include "obs/trace.h"
@@ -165,7 +166,16 @@ class InvariantChecker {
   bool CheckDrained();
 
  private:
+  // Ledgers live in dense arenas (common/index_arena.h) rather than
+  // unordered_maps: at 100k churned sessions the per-node allocations and
+  // pointer chases dominated the checker's cost. Ledgers are never freed —
+  // CheckDrained() audits every tenant that ever existed — so the arena
+  // acts as a dense bump allocator with O(1) flat-hash lookup.
   struct ClientLedger {
+    ClientLedger(TenantId t, int s) : tenant(t), ssd(s) {}
+    void Reset(TenantId t, int s) { *this = ClientLedger(t, s); }
+    TenantId tenant = 0;
+    int ssd = -1;
     uint64_t admitted = 0;
     uint64_t issued = 0;
     uint64_t terminal = 0;         // ok + failed, issued or not
@@ -175,20 +185,35 @@ class InvariantChecker {
     uint32_t max_credit_granted = 8;
   };
   struct PolicyLedger {
+    PolicyLedger(TenantId t, int s) : tenant(t), ssd(s) {}
+    void Reset(TenantId t, int s) { *this = PolicyLedger(t, s); }
+    TenantId tenant = 0;
+    int ssd = -1;
     uint64_t target_admitted = 0;
     uint64_t dispatched = 0;
     uint64_t device_returns = 0;
     uint64_t delivered = 0;  // ok + non-ok through Deliver()
     uint64_t failed = 0;     // FailRequest() (never dispatched)
   };
+  // One currently-backlogged tenant in a DRR's fairness comparison.
+  // Cost-normalized service accrues while the tenant stays backlogged; the
+  // baseline is (re-)captured lazily at the member's first serve of each
+  // comparison epoch. Between a membership change and that first serve the
+  // member receives no service, so the lazy capture equals the eager one —
+  // but a churn storm pays O(1) per join/leave instead of O(members).
+  struct DrrMember {
+    TenantId tenant = 0;
+    double service = 0.0;  // normalized service since joining the set
+    double base = 0.0;     // baseline at the current comparison epoch
+    uint64_t epoch = 0;    // epoch `base` was captured for
+  };
   struct DrrState {
     uint64_t quantum = 128 * 1024;
     uint64_t max_weighted = 9 * 128 * 1024;
-    // Lifetime cost-normalized service per tenant, and the baseline taken
-    // at the last backlogged-set membership change. Skew is measured per
-    // epoch: any join/leave re-baselines every member.
-    std::unordered_map<TenantId, double> service;
-    std::unordered_map<TenantId, double> base;
+    uint64_t epoch = 0;             // bumped on every membership change
+    uint64_t serves_since_scan = 0;
+    std::vector<DrrMember> members;  // dense, swap-remove on leave
+    common::IdIndexMap index;        // tenant -> position in members
   };
 
   static uint64_t Key(TenantId tenant, int ssd) {
@@ -196,10 +221,22 @@ class InvariantChecker {
            static_cast<uint64_t>(static_cast<uint16_t>(ssd));
   }
   ClientLedger& Client(TenantId tenant, int ssd) {
-    return clients_[Key(tenant, ssd)];
+    const uint64_t key = Key(tenant, ssd);
+    uint32_t slot = client_index_.Find(key);
+    if (slot == common::IdIndexMap::kNotFound) {
+      slot = clients_.Allocate(tenant, ssd);
+      client_index_.Put(key, slot);
+    }
+    return clients_[slot];
   }
   PolicyLedger& Policy(TenantId tenant, int ssd) {
-    return policies_[Key(tenant, ssd)];
+    const uint64_t key = Key(tenant, ssd);
+    uint32_t slot = policy_index_.Find(key);
+    if (slot == common::IdIndexMap::kNotFound) {
+      slot = policies_.Allocate(tenant, ssd);
+      policy_index_.Put(key, slot);
+    }
+    return policies_[slot];
   }
 
   // The clock of the shard executing the current hook; falls back to the
@@ -212,7 +249,7 @@ class InvariantChecker {
   }
   void Violate(const char* invariant, TenantId tenant, int ssd,
                std::string detail);
-  void ResetSkewBaselines(DrrState& d);
+  void CheckDrrSkew(const DrrState& d, int ssd);
 
   struct LockGuard {
     explicit LockGuard(const InvariantChecker& c) : c(c) {
@@ -231,8 +268,10 @@ class InvariantChecker {
   const obs::EventTracer* tracer_ = nullptr;
   uint64_t checks_run_ = 0;
   std::vector<Violation> violations_;
-  std::unordered_map<uint64_t, ClientLedger> clients_;
-  std::unordered_map<uint64_t, PolicyLedger> policies_;
+  common::SlabArena<ClientLedger> clients_;
+  common::IdIndexMap client_index_;
+  common::SlabArena<PolicyLedger> policies_;
+  common::IdIndexMap policy_index_;
   std::unordered_map<int, DrrState> drr_;
 };
 

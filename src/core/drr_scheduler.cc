@@ -8,24 +8,30 @@
 namespace gimbal::core {
 
 TenantState& DrrScheduler::GetTenant(TenantId id) {
-  auto it = tenants_.find(id);
-  if (it == tenants_.end()) {
-    it = tenants_.emplace(id, std::make_unique<TenantState>(id)).first;
-    busy_flags_[id] = false;
+  uint32_t slot = index_.Find(id);
+  if (slot == common::IdIndexMap::kNotFound) {
+    slot = tenants_.Allocate(id);
+    index_.Put(id, slot);
   }
-  return *it->second;
+  return tenants_[slot];
 }
 
 const TenantState* DrrScheduler::FindTenant(TenantId id) const {
-  auto it = tenants_.find(id);
-  return it == tenants_.end() ? nullptr : it->second.get();
+  const uint32_t slot = index_.Find(id);
+  return slot == common::IdIndexMap::kNotFound ? nullptr : &tenants_[slot];
+}
+
+void DrrScheduler::Reap(TenantId id) {
+  const uint32_t slot = index_.Find(id);
+  assert(slot != common::IdIndexMap::kNotFound);
+  index_.Erase(id);
+  tenants_.Free(slot);
 }
 
 void DrrScheduler::UpdateBusy(TenantState& t) {
   bool busy = IsBusy(t);
-  bool& flag = busy_flags_[t.id()];
-  if (busy == flag) return;
-  flag = busy;
+  if (busy == t.busy) return;
+  t.busy = busy;
   busy_tenants_ += busy ? 1 : -1;
 }
 
@@ -60,7 +66,7 @@ void DrrScheduler::AttachObservability(obs::Observability* obs,
 void DrrScheduler::GrantRounds(TenantState& t, uint64_t rounds) {
   const uint64_t deficit_before = t.deficit;
   const double frac_before = t.deficit_frac;
-  double step = TenantWeight(t.id()) * static_cast<double>(params_.drr_quantum);
+  double step = t.weight * static_cast<double>(params_.drr_quantum);
   if (GIMBAL_MUT(kDrrSkew) && t.id() % 2 == 0) step *= 4.0;
   // Carry the sub-byte remainder across rounds: truncating each grant
   // independently starves any tenant with weight x quantum < 1 (its grant
@@ -72,8 +78,7 @@ void DrrScheduler::GrantRounds(TenantState& t, uint64_t rounds) {
   t.deficit += whole;
   if (chk_) {
     chk_->OnDrrQuantum(t.id(), ssd_index_, deficit_before, t.deficit,
-                       TenantWeight(t.id()), rounds, frac_before,
-                       t.deficit_frac);
+                       t.weight, rounds, frac_before, t.deficit_frac);
   }
 }
 
@@ -86,7 +91,7 @@ void DrrScheduler::BoostStarvedRound() {
         cost_.WeightedBytes(head.type == IoType::kWrite, head.length);
     if (t->deficit >= weighted) return;  // someone can serve already
     const double step =
-        TenantWeight(t->id()) * static_cast<double>(params_.drr_quantum);
+        t->weight * static_cast<double>(params_.drr_quantum);
     if (step <= 0) continue;
     const double shortfall =
         static_cast<double>(weighted - t->deficit) - t->deficit_frac;
@@ -179,7 +184,7 @@ std::optional<DrrScheduler::Scheduled> DrrScheduler::Dequeue() {
     --queued_total_;
     t->deficit -= weighted;
     if (chk_) {
-      chk_->OnDrrServe(t->id(), ssd_index_, weighted, TenantWeight(t->id()));
+      chk_->OnDrrServe(t->id(), ssd_index_, weighted, t->weight);
     }
     out.slot_id = t->ChargeSlot(weighted, params_.slot_bytes);
     // If the slot filled and no further slot can open, the tenant defers
@@ -211,9 +216,9 @@ std::optional<DrrScheduler::Scheduled> DrrScheduler::Dequeue() {
 }
 
 std::vector<IoRequest> DrrScheduler::Disconnect(TenantId tenant) {
-  auto it = tenants_.find(tenant);
-  if (it == tenants_.end()) return {};
-  TenantState& t = *it->second;
+  const uint32_t slot = index_.Find(tenant);
+  if (slot == common::IdIndexMap::kNotFound) return {};
+  TenantState& t = tenants_[slot];
   active_.erase(std::remove(active_.begin(), active_.end(), &t),
                 active_.end());
   t.in_active = false;
@@ -226,18 +231,17 @@ std::vector<IoRequest> DrrScheduler::Disconnect(TenantId tenant) {
   t.disconnected = true;
   UpdateBusy(t);
   NotifyBacklog(t);
-  if (!IsBusy(t)) {
-    busy_flags_.erase(tenant);
-    weights_.erase(tenant);
-    tenants_.erase(it);
-  }
+  // Everything — including the service weight, which once lived in a side
+  // map this path forgot to clear — rides in the arena slot and is reaped
+  // with it, so churn cannot grow memory unboundedly.
+  if (!IsBusy(t)) Reap(tenant);
   return dropped;
 }
 
 std::vector<IoRequest> DrrScheduler::DrainAll() {
   std::vector<IoRequest> dropped;
-  for (auto& [id, tp] : tenants_) {
-    TenantState& t = *tp;
+  for (uint32_t slot : tenants_.live()) {
+    TenantState& t = tenants_[slot];
     std::vector<IoRequest> d = t.DrainQueues();
     queued_total_ -= static_cast<uint32_t>(d.size());
     dropped.insert(dropped.end(), d.begin(), d.end());
@@ -250,8 +254,8 @@ std::vector<IoRequest> DrrScheduler::DrainAll() {
     NotifyBacklog(t);
   }
   active_.clear();
-  // unordered_map iteration order is implementation-defined; sort so the
-  // fail-fast completions reach clients in a reproducible order.
+  // Arena live order depends on churn history; sort so the fail-fast
+  // completions reach clients in a reproducible order.
   std::sort(dropped.begin(), dropped.end(),
             [](const IoRequest& a, const IoRequest& b) {
               return a.tenant != b.tenant ? a.tenant < b.tenant : a.id < b.id;
@@ -260,28 +264,24 @@ std::vector<IoRequest> DrrScheduler::DrainAll() {
 }
 
 void DrrScheduler::OnCompletion(TenantId tenant, uint64_t slot_id) {
-  auto it = tenants_.find(tenant);
-  if (it == tenants_.end()) {
+  const uint32_t slot = index_.Find(tenant);
+  if (slot == common::IdIndexMap::kNotFound) {
     // Late or duplicate completion for a tenant whose state was already
     // reaped (Disconnect + last inflight drained). Creating state here
     // would resurrect a ghost entry that nothing ever erases again — a
-    // leak in tenants_/busy_flags_ under tenant churn. Drop it, count it.
+    // leak under tenant churn. Drop it, count it.
     ++orphan_completions_;
     if (m_orphan_completions_) m_orphan_completions_->Add(1);
     return;
   }
-  TenantState& t = *it->second;
+  TenantState& t = tenants_[slot];
   t.OnCompletion(slot_id);
   ++t.ios_completed;
   if (!t.HasQueued()) t.ReapQuiescentOpenSlot();
   if (t.disconnected) {
     UpdateBusy(t);
     NotifyBacklog(t);
-    if (!IsBusy(t)) {
-      busy_flags_.erase(tenant);
-      weights_.erase(tenant);
-      tenants_.erase(tenant);
-    }
+    if (!IsBusy(t)) Reap(tenant);
     return;
   }
   if (t.in_deferred) {
@@ -303,12 +303,12 @@ void DrrScheduler::OnCompletion(TenantId tenant, uint64_t slot_id) {
 
 void DrrScheduler::SetTenantWeight(TenantId id, double weight) {
   assert(weight > 0);
-  weights_[id] = weight;
+  GetTenant(id).weight = weight;
 }
 
 double DrrScheduler::TenantWeight(TenantId id) const {
-  auto it = weights_.find(id);
-  return it == weights_.end() ? 1.0 : it->second;
+  const TenantState* t = FindTenant(id);
+  return t == nullptr ? 1.0 : t->weight;
 }
 
 uint32_t DrrScheduler::CreditFor(TenantId tenant) const {

@@ -12,12 +12,11 @@
 #pragma once
 
 #include <deque>
-#include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "check/invariants.h"
+#include "common/index_arena.h"
 #include "core/params.h"
 #include "core/virtual_slot.h"
 #include "core/write_cost.h"
@@ -64,6 +63,14 @@ class DrrScheduler {
 
   size_t tenant_count() const { return tenants_.size(); }
 
+  // The backing arena, exposed for churn tests: after a full
+  // connect/disconnect/drain cycle tenant_count() must be zero AND every
+  // arena slot must be back on the free-list (capacity == free_count), or
+  // a slot leaked.
+  const common::SlabArena<TenantState>& tenant_arena() const {
+    return tenants_;
+  }
+
   // Per-tenant slot allotment: the threshold divided evenly among busy
   // tenants, never below one (§3.5).
   uint32_t AllottedSlots() const {
@@ -84,6 +91,11 @@ class DrrScheduler {
   // policies"): per-tenant service weights. A tenant with weight w earns
   // w x the DRR quantum per round, i.e. a w-proportional share of the
   // cost-normalized service. Weight must be > 0; default 1.
+  //
+  // The weight lives inside TenantState (SetTenantWeight materializes the
+  // tenant if needed), so Disconnect reaps it with everything else. The old
+  // side `weights_` map leaked: Disconnect() returned early for a tenant
+  // that had a weight but never did IO, leaving the entry behind forever.
   void SetTenantWeight(TenantId id, double weight);
   double TenantWeight(TenantId id) const;
 
@@ -110,6 +122,8 @@ class DrrScheduler {
  private:
   void Activate(TenantState& t);
   void UpdateBusy(TenantState& t);
+  // Return a no-longer-needed tenant's slot to the arena.
+  void Reap(TenantId id);
   // Grant `rounds` DRR quanta to `t` at once (weight x quantum each),
   // carrying the fractional remainder, and report to the checker.
   void GrantRounds(TenantState& t, uint64_t rounds);
@@ -136,9 +150,12 @@ class DrrScheduler {
 
   const GimbalParams& params_;
   const WriteCostEstimator& cost_;
-  std::unordered_map<TenantId, std::unique_ptr<TenantState>> tenants_;
-  std::unordered_map<TenantId, double> weights_;
-  std::unordered_map<TenantId, bool> busy_flags_;
+  // Dense per-tenant state: one arena slot per live tenant, indexed by id.
+  // Replaces three parallel unordered_maps (state/weights/busy) whose node
+  // churn dominated at 100k-session scale; dispatch now does zero hashing
+  // on the hot path (active_ carries stable TenantState pointers).
+  common::SlabArena<TenantState> tenants_;
+  common::IdIndexMap index_;
   std::deque<TenantState*> active_;
   uint32_t busy_tenants_ = 0;
   uint32_t queued_total_ = 0;

@@ -178,7 +178,10 @@ class PolicyBase : public IoPolicy {
              {"write", req.type == IoType::kWrite ? 1.0 : 0.0},
              {"credit", static_cast<double>(credit)}});
       } else {
-        obs_->metrics.GetCounter(obs::schema::kPolicyFailed, l).Add(1);
+        obs_->metrics
+            .GetCounter(obs::schema::kPolicyFailed,
+                        obs_->metrics.FoldTenant(l))
+            .Add(1);
         obs_->tracer.Instant(
             sim_.now(), obs::schema::kEvFail, l,
             {{"bytes", static_cast<double>(req.length)},
@@ -202,7 +205,9 @@ class PolicyBase : public IoPolicy {
     if (obs_) {
       const obs::Labels l =
           obs::Labels::TenantSsd(static_cast<int32_t>(req.tenant), ssd_index_);
-      obs_->metrics.GetCounter(obs::schema::kPolicyFailed, l).Add(1);
+      obs_->metrics
+          .GetCounter(obs::schema::kPolicyFailed, obs_->metrics.FoldTenant(l))
+          .Add(1);
       obs_->tracer.Instant(
           sim_.now(), obs::schema::kEvFail, l,
           {{"bytes", static_cast<double>(req.length)},
@@ -222,11 +227,13 @@ class PolicyBase : public IoPolicy {
     obs::Histogram* target_latency = nullptr;
   };
   TenantMetrics& MetricsFor(TenantId tenant) {
-    auto it = tenant_metrics_.find(tenant);
+    // Cache and series are keyed by the folded tenant label, so both stay
+    // bounded by the registry's tenant_series_limit under session churn.
+    const obs::Labels l = obs_->metrics.FoldTenant(
+        obs::Labels::TenantSsd(static_cast<int32_t>(tenant), ssd_index_));
+    auto it = tenant_metrics_.find(l.tenant);
     if (it != tenant_metrics_.end()) return it->second;
     namespace schema = obs::schema;
-    const obs::Labels l =
-        obs::Labels::TenantSsd(static_cast<int32_t>(tenant), ssd_index_);
     obs::MetricsRegistry& reg = obs_->metrics;
     TenantMetrics tm;
     tm.dispatched = &reg.GetCounter(schema::kPolicyDispatched, l);
@@ -234,7 +241,7 @@ class PolicyBase : public IoPolicy {
     tm.completed_bytes = &reg.GetCounter(schema::kPolicyCompletedBytes, l);
     tm.device_latency = &reg.GetHistogram(schema::kDeviceLatency, l);
     tm.target_latency = &reg.GetHistogram(schema::kTargetLatency, l);
-    return tenant_metrics_.emplace(tenant, tm).first->second;
+    return tenant_metrics_.emplace(l.tenant, tm).first->second;
   }
 
   sim::Simulator& sim_;
@@ -249,7 +256,8 @@ class PolicyBase : public IoPolicy {
     uint64_t tag;
   };
   std::unordered_map<uint64_t, Tracked> tracked_;
-  std::unordered_map<TenantId, TenantMetrics> tenant_metrics_;
+  // Keyed by *folded* tenant label (not TenantId): bounded cardinality.
+  std::unordered_map<int32_t, TenantMetrics> tenant_metrics_;
   uint64_t next_cookie_ = 1;
 };
 

@@ -27,10 +27,35 @@ struct VirtualSlot {
   bool Complete() const { return is_full && submits == completions; }
 };
 
-// Scheduler-side view of one tenant.
+// Scheduler-side view of one tenant. Instances live in the scheduler's
+// SlabArena and are recycled across connect/disconnect churn: Reset()
+// reinitializes every field but keeps the queue/slot buffers' capacity.
 class TenantState {
  public:
   explicit TenantState(TenantId id) : id_(id) {}
+
+  // Arena-recycle hook: restore the freshly-constructed state for a new
+  // tenant without surrendering heap buffers.
+  void Reset(TenantId id) {
+    deficit = 0;
+    deficit_frac = 0.0;
+    in_active = false;
+    in_deferred = false;
+    new_round = true;
+    disconnected = false;
+    weight = 1.0;
+    busy = false;
+    ios_completed = 0;
+    bytes_completed = 0;
+    id_ = id;
+    for (auto& q : queues_) q.clear();
+    queued_ = 0;
+    rr_cursor_ = 0;
+    rr_budget_ = 0;
+    slots_.clear();
+    next_slot_id_ = 1;
+    last_slot_io_count_ = 4;
+  }
 
   TenantId id() const { return id_; }
 
@@ -115,6 +140,14 @@ class TenantState {
   bool in_deferred = false;
   bool new_round = true;  // quantum refresh pending at head of round
   bool disconnected = false;  // reaped once the last inflight IO completes
+
+  // Service weight (scheduler extension): a tenant earns weight x quantum
+  // per DRR round. Folded into TenantState (rather than a side map) so the
+  // dispatch hot path touches exactly one cache line per tenant.
+  double weight = 1.0;
+  // Whether the tenant currently counts toward the busy-tenant divisor of
+  // AllottedSlots() (§3.5). Maintained by DrrScheduler::UpdateBusy.
+  bool busy = false;
 
   // Completed-IO statistics for reporting.
   uint64_t ios_completed = 0;

@@ -13,10 +13,21 @@ namespace gimbal::fabric {
 
 Initiator::Initiator(sim::Simulator& sim, Network& net, Target& target,
                      int pipeline, TenantId tenant, ThrottleMode mode,
-                     baselines::PardaParams parda, RetryParams retry)
+                     baselines::PardaParams parda, RetryParams retry,
+                     ConnectMode connect)
     : sim_(sim), net_(net), target_(target), pipeline_(pipeline),
       tenant_(tenant), mode_(mode), parda_(parda), retry_(retry) {
-  target_.Connect(pipeline_, tenant_, this);
+  if (connect == ConnectMode::kDirect) {
+    target_.Connect(pipeline_, tenant_, this);
+  } else {
+    // The connect capsule leads every command on the FIFO fabric, so the
+    // sink is registered before the first completion could need it.
+    ++control_inflight_;
+    net_.Send(Direction::kClientToTarget, pipeline_, kCapsuleBytes, [this]() {
+      --control_inflight_;
+      target_.OnConnectCapsule(pipeline_, tenant_, this);
+    });
+  }
   if (retry_.keepalive_interval > 0) {
     keepalive_timer_ =
         sim_.After(retry_.keepalive_interval, [this]() { KeepaliveTick(); });
@@ -28,7 +39,9 @@ void Initiator::KeepaliveTick() {
   // target's session reaper detects after a Crash(). Shutdown/Crash cancel
   // the armed timer, so this guard only covers a same-tick race.
   if (shutdown_) return;
+  ++control_inflight_;
   net_.Send(Direction::kClientToTarget, pipeline_, kCapsuleBytes, [this]() {
+    --control_inflight_;
     target_.OnKeepaliveCapsule(pipeline_, tenant_);
   });
   keepalive_timer_ =
@@ -142,7 +155,9 @@ void Initiator::Shutdown() {
   }
   // The disconnect capsule trails any already-issued commands (the fabric
   // is FIFO per direction), so the target sees them first.
+  ++control_inflight_;
   net_.Send(Direction::kClientToTarget, pipeline_, kCapsuleBytes, [this]() {
+    --control_inflight_;
     target_.OnDisconnectCapsule(pipeline_, tenant_);
   });
 }
@@ -181,8 +196,10 @@ void Initiator::Crash() {
 }
 
 void Initiator::Trim(uint64_t offset, uint32_t length) {
+  ++control_inflight_;
   net_.Send(Direction::kClientToTarget, pipeline_, kCapsuleBytes,
             [this, offset, length]() {
+              --control_inflight_;
               target_.OnTrimCapsule(pipeline_, offset, length);
             });
 }
@@ -349,8 +366,10 @@ void Initiator::AttachObservability(obs::Observability* obs) {
     return;
   }
   namespace schema = obs::schema;
-  const obs::Labels l =
-      obs::Labels::TenantSsd(static_cast<int32_t>(tenant_), pipeline_);
+  // Folded label: a churned fleet of 100k tenants shares the "other"
+  // series instead of growing the registry per session.
+  const obs::Labels l = obs->metrics.FoldTenant(
+      obs::Labels::TenantSsd(static_cast<int32_t>(tenant_), pipeline_));
   obs::MetricsRegistry& reg = obs->metrics;
   m_submitted_ = &reg.GetCounter(schema::kInitiatorSubmitted, l);
   m_completed_ = &reg.GetCounter(schema::kClientCompleted, l);

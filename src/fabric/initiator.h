@@ -50,6 +50,14 @@ inline Tick BackoffFor(const RetryParams& p, int n) {
   return b < p.backoff_cap ? b : p.backoff_cap;
 }
 
+// How the initiator registers its completion sink with the target.
+// kDirect pokes the session table immediately — fine at setup time, racy
+// for mid-run churn under the sharded engine. kCapsule sends a connect
+// capsule over the fabric so registration happens on the pipeline's shard
+// in FIFO order with the commands that follow (the open-loop fleet's
+// session churn uses this).
+enum class ConnectMode { kDirect, kCapsule };
+
 class Initiator : public CompletionSink {
  public:
   // Completion callback: the completion plus client-observed end-to-end
@@ -58,7 +66,8 @@ class Initiator : public CompletionSink {
 
   Initiator(sim::Simulator& sim, Network& net, Target& target, int pipeline,
             TenantId tenant, ThrottleMode mode = ThrottleMode::kNone,
-            baselines::PardaParams parda = {}, RetryParams retry = {});
+            baselines::PardaParams parda = {}, RetryParams retry = {},
+            ConnectMode connect = ConnectMode::kDirect);
 
   // Queue an IO for issue; `done` fires when its completion returns.
   void Submit(IoType type, uint64_t offset, uint32_t length, IoPriority prio,
@@ -93,6 +102,11 @@ class Initiator : public CompletionSink {
 
   uint32_t inflight() const { return inflight_; }
   uint32_t queued() const { return static_cast<uint32_t>(pending_.size()); }
+  // Control capsules (connect/keepalive/disconnect/trim) sent but not yet
+  // delivered. Their network callbacks capture `this`, so an initiator
+  // must not be destroyed while any is pending — the open-loop fleet's
+  // graveyard sweep waits for zero here as well as zero inflight/queued.
+  uint32_t control_inflight() const { return control_inflight_; }
   // Client-visible credit total (the §3.7 virtual-view load signal the KV
   // load balancer uses: more credits = less loaded SSD).
   uint32_t credits() const { return credit_total_; }
@@ -152,6 +166,7 @@ class Initiator : public CompletionSink {
   sim::TimerHandle keepalive_timer_;
   uint64_t next_id_ = 1;
   uint32_t inflight_ = 0;
+  uint32_t control_inflight_ = 0;
   uint32_t credit_total_ = 8;  // optimistic initial grant, refined by cpl
   bool shutdown_ = false;
   bool crashed_ = false;

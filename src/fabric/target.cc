@@ -54,8 +54,14 @@ int Target::AddPipeline(std::unique_ptr<core::IoPolicy> policy,
 void Target::AttachObservability(obs::Observability* obs) {
   obs_ = obs;
   for (int i = 0; i < static_cast<int>(pipelines_.size()); ++i) {
-    pipelines_[i]->policy->AttachObservability(ObsOf(*pipelines_[i]), i);
-    pipelines_[i]->admit.clear();
+    Pipeline& p = *pipelines_[i];
+    p.policy->AttachObservability(ObsOf(p), i);
+    // Drop cached admit counter handles; they re-resolve against the new
+    // registry (or run label) on the next capsule.
+    for (uint32_t slot : p.sessions.live()) {
+      p.sessions[slot].admit_ios = nullptr;
+      p.sessions[slot].admit_bytes = nullptr;
+    }
   }
 }
 
@@ -66,26 +72,70 @@ void Target::AttachChecker(check::InvariantChecker* chk) {
   }
 }
 
+Target::Session& Target::SessionFor(Pipeline& p, TenantId tenant) {
+  uint32_t slot = p.session_index.Find(tenant);
+  if (slot == common::IdIndexMap::kNotFound) {
+    slot = p.sessions.Allocate(tenant);
+    p.session_index.Put(tenant, slot);
+  }
+  return p.sessions[slot];
+}
+
+Target::Session* Target::FindSession(Pipeline& p, TenantId tenant) {
+  const uint32_t slot = p.session_index.Find(tenant);
+  return slot == common::IdIndexMap::kNotFound ? nullptr : &p.sessions[slot];
+}
+
+void Target::FreeSessionIfDrained(Pipeline& p, TenantId tenant) {
+  const uint32_t slot = p.session_index.Find(tenant);
+  if (slot == common::IdIndexMap::kNotFound) return;
+  Session& s = p.sessions[slot];
+  if (s.outstanding > 0) return;
+  if (!s.parting && s.sink != nullptr) return;
+  Untrack(p, s);
+  p.session_index.Erase(tenant);
+  p.sessions.Free(slot);
+}
+
 void Target::Connect(int pipeline, TenantId tenant, CompletionSink* sink) {
-  pipelines_[pipeline]->sinks[tenant] = sink;
+  Pipeline& p = *pipelines_[pipeline];
+  Session& s = SessionFor(p, tenant);
+  // A reconnect simply replaces the sink; an in-flight teardown is
+  // cancelled (the new connection adopts any still-draining IOs).
+  s.sink = sink;
+  s.parting = false;
+}
+
+void Target::OnConnectCapsule(int pipeline, TenantId tenant,
+                              CompletionSink* sink) {
+  Pipeline& p = *pipelines_[pipeline];
+  CoreOf(p).Acquire(config_.submit_cost, [this, &p, tenant, sink]() {
+    Session& s = SessionFor(p, tenant);
+    s.sink = sink;
+    s.parting = false;
+  });
 }
 
 void Target::OnCommandCapsule(int pipeline, IoRequest req) {
   Pipeline& p = *pipelines_[pipeline];
   ++p.stats.ios;
   p.stats.bytes += req.length;
+  Session& s = SessionFor(p, req.tenant);
+  ++s.outstanding;
   if (obs::Observability* o = ObsOf(p)) {
     const obs::Labels l =
         obs::Labels::TenantSsd(static_cast<int32_t>(req.tenant), pipeline);
-    Pipeline::AdmitCounters& ac = p.admit[req.tenant];
-    if (!ac.ios) {
-      // Resolved once per (tenant, pipeline); a run-label change invalidates
-      // the cache via Testbed re-attach.
-      ac.ios = &o->metrics.GetCounter(obs::schema::kTargetAdmitted, l);
-      ac.bytes = &o->metrics.GetCounter(obs::schema::kTargetAdmittedBytes, l);
+    if (!s.admit_ios) {
+      // Resolved once per session; a run-label change invalidates the
+      // cache via Testbed re-attach. The metric series uses the folded
+      // tenant label so a 100k-tenant churn cannot explode the registry.
+      const obs::Labels ml = o->metrics.FoldTenant(l);
+      s.admit_ios = &o->metrics.GetCounter(obs::schema::kTargetAdmitted, ml);
+      s.admit_bytes =
+          &o->metrics.GetCounter(obs::schema::kTargetAdmittedBytes, ml);
     }
-    ac.ios->Add(1);
-    ac.bytes->Add(req.length);
+    s.admit_ios->Add(1);
+    s.admit_bytes->Add(req.length);
     o->tracer.Instant(p.sim->now(), obs::schema::kEvAdmit, l,
                       {{"bytes", static_cast<double>(req.length)},
                        {"write", req.type == IoType::kWrite ? 1.0 : 0.0}});
@@ -126,6 +176,23 @@ void Target::OnCommandCapsule(int pipeline, IoRequest req) {
 // policy never saw cannot be expected to terminate (the client's retry
 // covers it instead).
 void Target::DeliverToPolicy(Pipeline& p, const IoRequest& req) {
+  // A write's staging delay can let the tenant's disconnect overtake it:
+  // the capsule arrived before the disconnect (FIFO), but by the time the
+  // payload is staged the policy has already dropped the tenant. Handing
+  // it over now would resurrect scheduler state nothing ever reaps — fail
+  // it back to the client instead, through the normal completion path so
+  // the session's outstanding count still drains.
+  if (const Session* s = FindSession(p, req.tenant);
+      s == nullptr || s->parting || s->sink == nullptr) {
+    IoCompletion cpl;
+    cpl.id = req.id;
+    cpl.tenant = req.tenant;
+    cpl.type = req.type;
+    cpl.length = req.length;
+    cpl.status = IoStatus::kAborted;
+    FinishCompletion(p, req, cpl);
+    return;
+  }
   if (chk_) chk_->OnTargetAdmit(req.tenant, p.id);
   p.policy->OnRequest(req);
 }
@@ -139,9 +206,25 @@ void Target::OnTrimCapsule(int pipeline, uint64_t offset, uint32_t length) {
 
 void Target::OnDisconnectCapsule(int pipeline, TenantId tenant) {
   Pipeline& p = *pipelines_[pipeline];
-  p.last_seen.erase(tenant);  // graceful exit: nothing left to reap
-  CoreOf(p).Acquire(config_.submit_cost, [&p, tenant]() {
+  if (Session* s = FindSession(p, tenant)) {
+    Untrack(p, *s);  // graceful exit: nothing left for the crash reaper
+    s->parting = true;
+  }
+  CoreOf(p).Acquire(config_.submit_cost, [this, &p, tenant]() {
+    // A whirlwind session can disconnect while its connect capsule is
+    // still queued on the core: the arrival-time FindSession above saw
+    // nothing to mark, and the sink registered only moments ago. The core
+    // is FIFO, so re-marking here is ordered after the connect callback
+    // and the slot cannot be left live with a dangling sink.
+    if (Session* s = FindSession(p, tenant)) {
+      Untrack(p, *s);
+      s->parting = true;
+    }
     p.policy->OnTenantDisconnect(tenant);
+    // Queued IOs failed synchronously above but their completion capsules
+    // are still queued on the core; the last FinishCompletion frees the
+    // slot. An idle session has nothing outstanding and frees right here.
+    FreeSessionIfDrained(p, tenant);
   });
 }
 
@@ -152,7 +235,12 @@ void Target::OnKeepaliveCapsule(int pipeline, TenantId tenant) {
 void Target::TouchSession(int pipeline, TenantId tenant) {
   if (config_.session_timeout <= 0) return;
   Pipeline& p = *pipelines_[pipeline];
-  p.last_seen[tenant] = p.sim->now();
+  Session& s = SessionFor(p, tenant);
+  s.last_seen = p.sim->now();
+  if (!s.tracked) {
+    s.tracked = true;
+    ++p.tracked_sessions;
+  }
   if (p.reaper_timer.active()) return;
   // Scan at half the timeout so a dead session is reaped at most 1.5x the
   // timeout after its last capsule. One timer per pipeline, on the
@@ -163,30 +251,39 @@ void Target::TouchSession(int pipeline, TenantId tenant) {
 
 void Target::ReapStaleSessions(Pipeline& p) {
   const Tick now = p.sim->now();
-  // Collect-then-reap, sorted: map order is implementation-defined and
-  // the reap order is client-visible (failed completions).
+  // Collect-then-reap, sorted: arena live order depends on churn history
+  // and the reap order is client-visible (failed completions).
   std::vector<TenantId> stale;
-  for (const auto& [tenant, seen] : p.last_seen) {
-    if (now - seen >= config_.session_timeout) stale.push_back(tenant);
+  for (uint32_t slot : p.sessions.live()) {
+    const Session& s = p.sessions[slot];
+    if (s.tracked && now - s.last_seen >= config_.session_timeout) {
+      stale.push_back(s.tenant);
+    }
   }
   std::sort(stale.begin(), stale.end());
   for (TenantId tenant : stale) {
-    p.last_seen.erase(tenant);
+    Session* s = FindSession(p, tenant);
+    Untrack(p, *s);
+    s->parting = true;
     ++p.sessions_reaped;
     if (obs::Observability* o = ObsOf(p)) {
       const obs::Labels l =
           obs::Labels::TenantSsd(static_cast<int32_t>(tenant), p.id);
-      o->metrics.GetCounter(obs::schema::kTargetSessionsReaped, l).Add(1);
+      o->metrics
+          .GetCounter(obs::schema::kTargetSessionsReaped,
+                      o->metrics.FoldTenant(l))
+          .Add(1);
       o->tracer.Instant(now, obs::schema::kEvTenantReap, l);
     }
     // Same teardown as a disconnect capsule: queued IOs fail back with
     // status=aborted, scheduler state is reclaimed once inflight drains.
-    CoreOf(p).Acquire(config_.submit_cost, [&p, tenant]() {
+    CoreOf(p).Acquire(config_.submit_cost, [this, &p, tenant]() {
       p.policy->OnTenantDisconnect(tenant);
+      FreeSessionIfDrained(p, tenant);
     });
   }
   // Self-terminate once nothing is tracked so the event queue can drain.
-  if (!p.last_seen.empty()) {
+  if (p.tracked_sessions > 0) {
     p.reaper_timer = p.sim->After(config_.session_timeout / 2,
                                   [this, &p]() { ReapStaleSessions(p); });
   }
@@ -194,13 +291,25 @@ void Target::ReapStaleSessions(Pipeline& p) {
 
 int Target::session_count() const {
   int n = 0;
-  for (const auto& p : pipelines_) n += static_cast<int>(p->last_seen.size());
+  for (const auto& p : pipelines_) n += p->tracked_sessions;
   return n;
 }
 
 uint64_t Target::sessions_reaped() const {
   uint64_t n = 0;
   for (const auto& p : pipelines_) n += p->sessions_reaped;
+  return n;
+}
+
+size_t Target::live_sessions() const {
+  size_t n = 0;
+  for (const auto& p : pipelines_) n += p->sessions.size();
+  return n;
+}
+
+uint64_t Target::completions_orphaned() const {
+  uint64_t n = 0;
+  for (const auto& p : pipelines_) n += p->completions_orphaned;
   return n;
 }
 
@@ -218,9 +327,21 @@ void Target::FinishCompletion(Pipeline& p, const IoRequest& req,
   // Step (e) prologue: completion processing on the core.
   CoreOf(p).Acquire(config_.complete_cost, [this, &p, req, cpl]() mutable {
     cpl.target_latency = p.sim->now() - req.target_arrival;
-    auto it = p.sinks.find(req.tenant);
-    assert(it != p.sinks.end() && "completion for unconnected tenant");
-    CompletionSink* sink = it->second;
+    Session* s = FindSession(p, req.tenant);
+    if (s != nullptr && s->outstanding > 0) --s->outstanding;
+    if (s == nullptr || s->sink == nullptr) {
+      // The session was already torn down (a command capsule delayed by a
+      // link fault can slip past its tenant's disconnect). The client side
+      // terminated this IO long ago; drop the completion, count it.
+      ++p.completions_orphaned;
+      if (s != nullptr) FreeSessionIfDrained(p, req.tenant);
+      return;
+    }
+    CompletionSink* sink = s->sink;
+    // May recycle the slot; `sink` is captured by value below and the
+    // Initiator object outlives its fabric traffic (testbed-owned, or
+    // graveyard-held by the fleet until drained).
+    FreeSessionIfDrained(p, req.tenant);
     if (req.type == IoType::kRead && cpl.ok()) {
       // Step (d): stage data out of node memory, RDMA_WRITE it, then the
       // completion capsule follows on the same direction.

@@ -23,9 +23,9 @@
 
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/index_arena.h"
 #include "core/io_policy.h"
 #include "fabric/network.h"
 #include "nvme/types.h"
@@ -91,7 +91,14 @@ class Target {
                   obs::Observability* obs = nullptr);
 
   // Register the client-side sink for a tenant's completions on a pipeline.
+  // Direct variant: mutates the session table immediately (setup-time use;
+  // under sharding it is only safe before Run()).
   void Connect(int pipeline, TenantId tenant, CompletionSink* sink);
+
+  // Capsule variant: runs after the connect capsule's network trip, i.e.
+  // on the pipeline's shard, so mid-run connects (session churn) are safe
+  // under the sharded engine. Charges one submit_cost of admin processing.
+  void OnConnectCapsule(int pipeline, TenantId tenant, CompletionSink* sink);
 
   // Entry point used by initiators (called after the capsule's network
   // trip, so under sharding it already runs on the pipeline's shard):
@@ -115,6 +122,17 @@ class Target {
   int session_count() const;
   uint64_t sessions_reaped() const;
 
+  // Session-table occupancy across all pipelines. Unlike session_count()
+  // this also counts sessions the crash reaper is not tracking; after a
+  // full churn cycle (every tenant disconnected and drained) it must
+  // return to the number of still-connected setup-time sessions — the
+  // churn property test asserts it reaches zero on a fleet-only testbed.
+  size_t live_sessions() const;
+  // Completions whose session had already been torn down (e.g. a command
+  // capsule delayed by a link fault past its tenant's disconnect); dropped
+  // at the target rather than delivered to a dangling sink.
+  uint64_t completions_orphaned() const;
+
   // Attach metrics/trace sinks; propagated to every pipeline's policy
   // (existing and future) that has no per-pipeline override, which
   // forwards to its device-facing components. Pipeline index doubles as
@@ -135,6 +153,32 @@ class Target {
   TargetStats stats() const;
 
  private:
+  // One tenant's connection state on one pipeline. Everything that used to
+  // live in three parallel per-tenant maps (sinks / last_seen / admit
+  // counter caches) now shares an arena slot, recycled across churn.
+  struct Session {
+    explicit Session(TenantId t) : tenant(t) {}
+    void Reset(TenantId t) { *this = Session(t); }
+
+    TenantId tenant = 0;
+    CompletionSink* sink = nullptr;
+    Tick last_seen = 0;
+    bool tracked = false;  // counted/scanned by the crash reaper
+    // Disconnect (graceful or reaped) seen: the slot is freed once the
+    // last admitted command's completion has been processed. FIFO fabric
+    // order guarantees no command capsule trails the disconnect capsule,
+    // so no new IOs can land on a parting session.
+    bool parting = false;
+    // Command capsules admitted minus completions processed. A payload
+    // fetch eaten by a link fault leaves this stuck >0 and the slot merely
+    // leaks (as the old sink map did for every session); it never frees
+    // under a pending delivery.
+    uint32_t outstanding = 0;
+    // Per-tenant admit counter handles, resolved lazily (see target.cc).
+    obs::Counter* admit_ios = nullptr;
+    obs::Counter* admit_bytes = nullptr;
+  };
+
   struct Pipeline {
     std::unique_ptr<core::IoPolicy> policy;
     int id = 0;
@@ -144,26 +188,34 @@ class Target {
     sim::Simulator* sim = nullptr;
     obs::Observability* obs_override = nullptr;
     TargetStats stats;
-    std::unordered_map<TenantId, CompletionSink*> sinks;
-    // Last command/keepalive capsule per tenant; populated only while
-    // session_timeout > 0.
-    std::unordered_map<TenantId, Tick> last_seen;
+    common::SlabArena<Session> sessions;
+    common::IdIndexMap session_index;  // tenant -> arena slot
+    int tracked_sessions = 0;          // sessions with tracked == true
     uint64_t sessions_reaped = 0;
+    uint64_t completions_orphaned = 0;
     // This pipeline's armed reaper scan; not re-armed when no session
     // remains tracked, so Run()-to-idle experiments still drain.
     sim::TimerHandle reaper_timer;
-    // Per-tenant admit counter handles, resolved lazily (see target.cc).
-    struct AdmitCounters {
-      obs::Counter* ios = nullptr;
-      obs::Counter* bytes = nullptr;
-    };
-    std::unordered_map<TenantId, AdmitCounters> admit;
   };
 
   sim::FifoResource& CoreOf(const Pipeline& p) { return *cores_[p.core]; }
   obs::Observability* ObsOf(const Pipeline& p) const {
     return p.obs_override ? p.obs_override : obs_;
   }
+  // Session-table plumbing. Deferred callbacks must re-resolve by tenant
+  // id (not hold a Session*): a freed slot can be recycled for another
+  // tenant while the callback waits its turn on the core.
+  Session& SessionFor(Pipeline& p, TenantId tenant);
+  Session* FindSession(Pipeline& p, TenantId tenant);
+  void Untrack(Pipeline& p, Session& s) {
+    if (s.tracked) {
+      s.tracked = false;
+      --p.tracked_sessions;
+    }
+  }
+  // Free the slot once a parting (or sink-less ghost) session has no
+  // outstanding commands left.
+  void FreeSessionIfDrained(Pipeline& p, TenantId tenant);
   void DeliverToPolicy(Pipeline& p, const IoRequest& req);
   void FinishCompletion(Pipeline& p, const IoRequest& req, IoCompletion cpl);
   void TouchSession(int pipeline, TenantId tenant);

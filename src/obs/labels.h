@@ -13,6 +13,12 @@
 namespace gimbal::obs {
 
 struct Labels {
+  // Tenant value for series folded by the registry's per-tenant
+  // cardinality cap (MetricsRegistry::FoldTenant): tenants past the limit
+  // share one "other" series so 100k-session churn cannot grow the
+  // registry unboundedly. Serialized as tenant="other".
+  static constexpr int32_t kOtherTenant = -2;
+
   int32_t tenant = -1;
   int32_t ssd = -1;
 

@@ -104,6 +104,8 @@ std::string MetricsRegistry::ToJson() const {
     out += "\"run\":" + JsonQuote(inst->run);
     if (inst->labels.tenant >= 0) {
       out += ",\"tenant\":" + JsonNumber(inst->labels.tenant);
+    } else if (inst->labels.tenant == Labels::kOtherTenant) {
+      out += ",\"tenant\":\"other\"";
     }
     if (inst->labels.ssd >= 0) {
       out += ",\"ssd\":" + JsonNumber(inst->labels.ssd);
@@ -125,6 +127,8 @@ std::string MetricsRegistry::ToJson() const {
         out += ",\"p50\":" + JsonNumber(static_cast<double>(h.Quantile(0.50)));
         out += ",\"p95\":" + JsonNumber(static_cast<double>(h.Quantile(0.95)));
         out += ",\"p99\":" + JsonNumber(static_cast<double>(h.Quantile(0.99)));
+        out +=
+            ",\"p999\":" + JsonNumber(static_cast<double>(h.Quantile(0.999)));
         out += ",\"max\":" + JsonNumber(static_cast<double>(h.max()));
         break;
       }
@@ -151,7 +155,8 @@ std::string CsvCell(const std::string& s) {
 
 std::string MetricsRegistry::ToCsv() const {
   std::string out =
-      "name,kind,unit,run,tenant,ssd,value,count,min,mean,p50,p95,p99,max\n";
+      "name,kind,unit,run,tenant,ssd,value,count,min,mean,p50,p95,p99,p999,"
+      "max\n";
   for (const auto& [key, inst] : index_) {
     (void)key;
     out += CsvCell(inst->name);
@@ -162,18 +167,22 @@ std::string MetricsRegistry::ToCsv() const {
     out += ',';
     out += CsvCell(inst->run);
     out += ',';
-    if (inst->labels.tenant >= 0) out += JsonNumber(inst->labels.tenant);
+    if (inst->labels.tenant >= 0) {
+      out += JsonNumber(inst->labels.tenant);
+    } else if (inst->labels.tenant == Labels::kOtherTenant) {
+      out += "other";
+    }
     out += ',';
     if (inst->labels.ssd >= 0) out += JsonNumber(inst->labels.ssd);
     out += ',';
     switch (inst->kind) {
       case Kind::kCounter:
         out += JsonNumber(static_cast<double>(inst->counter.value()));
-        out += ",,,,,,,";
+        out += ",,,,,,,,";
         break;
       case Kind::kGauge:
         out += JsonNumber(inst->gauge.value());
-        out += ",,,,,,,";
+        out += ",,,,,,,,";
         break;
       case Kind::kHistogram: {
         const Histogram& h = inst->histogram;
@@ -184,6 +193,7 @@ std::string MetricsRegistry::ToCsv() const {
         out += JsonNumber(static_cast<double>(h.Quantile(0.50))) + ',';
         out += JsonNumber(static_cast<double>(h.Quantile(0.95))) + ',';
         out += JsonNumber(static_cast<double>(h.Quantile(0.99))) + ',';
+        out += JsonNumber(static_cast<double>(h.Quantile(0.999))) + ',';
         out += JsonNumber(static_cast<double>(h.max()));
         break;
       }

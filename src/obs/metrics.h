@@ -55,8 +55,8 @@ class Gauge {
 };
 
 // Log-bucketed (HDR-style) histogram over non-negative integer samples,
-// reporting count/min/mean/max and p50/p95/p99. Quantiles of an empty
-// histogram are defined as 0 (see LatencyHistogram::Percentile).
+// reporting count/min/mean/max and p50/p95/p99/p99.9. Quantiles of an
+// empty histogram are defined as 0 (see LatencyHistogram::Percentile).
 class Histogram {
  public:
   void Record(int64_t v) { hist_.Record(v); }
@@ -84,6 +84,23 @@ class MetricsRegistry {
   Counter& GetCounter(const MetricDef& def, Labels labels = {});
   Gauge& GetGauge(const MetricDef& def, Labels labels = {});
   Histogram& GetHistogram(const MetricDef& def, Labels labels = {});
+
+  // Per-tenant series cardinality cap: labels whose tenant id is at or
+  // above the limit fold into the shared Labels::kOtherTenant series.
+  // Instrumentation sites that resolve per-tenant metric handles pass
+  // their labels through here first, so a tenant-churn workload keeps the
+  // registry (and snapshot size) bounded while trace events — which are
+  // per-event, not per-series — keep exact tenant ids. The default is far
+  // above any figure experiment's tenant count, so small runs see exact
+  // per-tenant series.
+  Labels FoldTenant(Labels l) const {
+    if (l.tenant >= tenant_series_limit_) l.tenant = Labels::kOtherTenant;
+    return l;
+  }
+  void set_tenant_series_limit(int32_t limit) {
+    tenant_series_limit_ = limit;
+  }
+  int32_t tenant_series_limit() const { return tenant_series_limit_; }
 
   // Run label applied to instances resolved from now on. The bench harness
   // sets it per testbed (e.g. "gimbal:a") so one binary's successive runs
@@ -138,6 +155,7 @@ class MetricsRegistry {
   std::map<Key, Instance*> index_;
   std::deque<Instance> instances_;  // deque: stable element addresses
   std::string run_;
+  int32_t tenant_series_limit_ = 256;
 };
 
 }  // namespace gimbal::obs

@@ -141,6 +141,24 @@ inline constexpr MetricDef kSsdGcPagesRelocated{
 inline constexpr MetricDef kSsdBlocksErased{
     "ssd.gc.blocks_erased", "blocks", "victim blocks erased by GC",
     "ssd/ssd.cc:GcRelocateBatch"};
+inline constexpr MetricDef kTargetOrphanCompletions{
+    "fabric.target.orphan_completions", "ios",
+    "completions whose session was already torn down when they surfaced "
+    "(late arrivals past a disconnect)",
+    "fabric/target.cc:FinishCompletion"};
+inline constexpr MetricDef kSloWindows{
+    "slo.windows", "windows",
+    "closed per-tenant SLO evaluation windows (windows with >= 1 sample)",
+    "obs/slo.cc:CloseWindow"};
+inline constexpr MetricDef kSloWindowsViolated{
+    "slo.windows_violated", "windows",
+    "closed per-tenant windows that violated at least one latency objective",
+    "obs/slo.cc:CloseWindow"};
+inline constexpr MetricDef kSloTenantWindowsViolated{
+    "slo.tenant.windows_violated", "windows",
+    "violated windows per tenant (tenant-labelled; folds to tenant=\"other\" "
+    "past the registry's cardinality cap)",
+    "obs/slo.cc:Export"};
 
 // ---------------------------------------------------------------------------
 // Gauges
@@ -191,6 +209,31 @@ inline constexpr MetricDef kSsdHealth{
     "ssd.health", "enum",
     "SSD health state (0=healthy 1=degraded 2=failed 3=recovering)",
     "fault/health.h:SsdHealthMachine::Set"};
+inline constexpr MetricDef kSloReadP99{
+    "slo.read.p99_ns", "ns",
+    "aggregate p99 of client-observed read latency over the tracked run",
+    "obs/slo.cc:Export"};
+inline constexpr MetricDef kSloReadP999{
+    "slo.read.p999_ns", "ns",
+    "aggregate p99.9 of client-observed read latency over the tracked run",
+    "obs/slo.cc:Export"};
+inline constexpr MetricDef kSloWriteP99{
+    "slo.write.p99_ns", "ns",
+    "aggregate p99 of client-observed write latency over the tracked run",
+    "obs/slo.cc:Export"};
+inline constexpr MetricDef kSloWriteP999{
+    "slo.write.p999_ns", "ns",
+    "aggregate p99.9 of client-observed write latency over the tracked run",
+    "obs/slo.cc:Export"};
+inline constexpr MetricDef kSloTimeInViolation{
+    "slo.time_in_violation_ns", "ns",
+    "total tenant-time spent in violating windows (violated windows x "
+    "window length)",
+    "obs/slo.cc:Export"};
+inline constexpr MetricDef kSloTenantsViolated{
+    "slo.tenants.violated", "tenants",
+    "tenants that violated at least one window over their lifetime",
+    "obs/slo.cc:CloseWindow"};
 
 // ---------------------------------------------------------------------------
 // Histograms (log-bucketed; JSON/CSV report count/min/mean/p50/p95/p99/max)
@@ -203,6 +246,14 @@ inline constexpr MetricDef kTargetLatency{
     "policy.latency.target_ns", "ns",
     "target-ingress-to-completion latency per completed command",
     "core/io_policy.h:Deliver"};
+inline constexpr MetricDef kSloReadLatency{
+    "slo.latency.read_ns", "ns",
+    "client-observed end-to-end read latency fed to the SLO tracker",
+    "obs/slo.cc:Record"};
+inline constexpr MetricDef kSloWriteLatency{
+    "slo.latency.write_ns", "ns",
+    "client-observed end-to-end write latency fed to the SLO tracker",
+    "obs/slo.cc:Record"};
 
 // ---------------------------------------------------------------------------
 // Trace event names (see docs/OBSERVABILITY.md for args and sites)

@@ -1,0 +1,106 @@
+#include "obs/slo.h"
+
+#include "obs/schema.h"
+
+namespace gimbal::obs {
+namespace {
+
+// A window violates objective (quantile q, threshold) when the fraction of
+// samples over the threshold exceeds 1-q. Integer form: over * denom > n,
+// with denom = 1/(1-q) (100 for p99, 1000 for p99.9), so no sample-count
+// float rounding can flip a verdict.
+bool Violates(uint32_t over, uint32_t n, uint64_t denom) {
+  return static_cast<uint64_t>(over) * denom > n;
+}
+
+}  // namespace
+
+void SloTracker::Record(TenantId tenant, bool is_write, Tick latency,
+                        Tick now) {
+  (is_write ? write_hist_ : read_hist_).Record(latency);
+  const uint64_t wid =
+      static_cast<uint64_t>(now) / static_cast<uint64_t>(spec_.window);
+  uint32_t slot = index_.Find(tenant);
+  if (slot == common::IdIndexMap::kNotFound) {
+    slot = tenants_.Allocate(tenant);
+    index_.Put(tenant, slot);
+    tenants_[slot].window_id = wid;
+  }
+  TenantSlo& t = tenants_[slot];
+  if (t.window_id != wid) {
+    CloseWindow(t);
+    t.window_id = wid;
+  }
+  if (is_write) {
+    ++t.write_n;
+    if (spec_.write_p99 != 0 && latency > spec_.write_p99) ++t.over_write_p99;
+    if (spec_.write_p999 != 0 && latency > spec_.write_p999) {
+      ++t.over_write_p999;
+    }
+  } else {
+    ++t.read_n;
+    if (spec_.read_p99 != 0 && latency > spec_.read_p99) ++t.over_read_p99;
+    if (spec_.read_p999 != 0 && latency > spec_.read_p999) ++t.over_read_p999;
+  }
+}
+
+void SloTracker::CloseWindow(TenantSlo& t) {
+  if (t.read_n == 0 && t.write_n == 0) return;
+  ++windows_;
+  const bool violated =
+      (spec_.read_p99 != 0 && Violates(t.over_read_p99, t.read_n, 100)) ||
+      (spec_.read_p999 != 0 && Violates(t.over_read_p999, t.read_n, 1000)) ||
+      (spec_.write_p99 != 0 && Violates(t.over_write_p99, t.write_n, 100)) ||
+      (spec_.write_p999 != 0 && Violates(t.over_write_p999, t.write_n, 1000));
+  if (violated) {
+    ++windows_violated_;
+    if (++t.violated == 1) ++tenants_violated_;
+  }
+  t.read_n = t.write_n = 0;
+  t.over_read_p99 = t.over_read_p999 = 0;
+  t.over_write_p99 = t.over_write_p999 = 0;
+}
+
+void SloTracker::OnDisconnect(TenantId tenant) {
+  const uint32_t slot = index_.Find(tenant);
+  if (slot == common::IdIndexMap::kNotFound) return;
+  CloseWindow(tenants_[slot]);
+  index_.Erase(tenant);
+  tenants_.Free(slot);
+}
+
+void SloTracker::FinalizeWindows() {
+  for (const uint32_t slot : tenants_.live()) CloseWindow(tenants_[slot]);
+}
+
+void SloTracker::Export(MetricsRegistry& reg) const {
+  namespace s = schema;
+  reg.GetHistogram(s::kSloReadLatency).Merge(read_hist_);
+  reg.GetHistogram(s::kSloWriteLatency).Merge(write_hist_);
+  reg.GetGauge(s::kSloReadP99)
+      .Set(static_cast<double>(read_hist_.Quantile(0.99)));
+  reg.GetGauge(s::kSloReadP999)
+      .Set(static_cast<double>(read_hist_.Quantile(0.999)));
+  reg.GetGauge(s::kSloWriteP99)
+      .Set(static_cast<double>(write_hist_.Quantile(0.99)));
+  reg.GetGauge(s::kSloWriteP999)
+      .Set(static_cast<double>(write_hist_.Quantile(0.999)));
+  reg.GetCounter(s::kSloWindows).Add(windows_);
+  reg.GetCounter(s::kSloWindowsViolated).Add(windows_violated_);
+  reg.GetGauge(s::kSloTimeInViolation)
+      .Set(static_cast<double>(time_in_violation()));
+  reg.GetGauge(s::kSloTenantsViolated)
+      .Set(static_cast<double>(tenants_violated_));
+  // Per-tenant violation counters for sessions still alive at export time
+  // (churned tenants live on in the aggregates). Folding keeps this
+  // bounded: tenants past the registry cap sum into tenant="other".
+  for (const uint32_t slot : tenants_.live()) {
+    const TenantSlo& t = tenants_[slot];
+    if (t.violated == 0) continue;
+    const Labels l = reg.FoldTenant(
+        Labels::TenantSsd(static_cast<int32_t>(t.tenant), -1));
+    reg.GetCounter(s::kSloTenantWindowsViolated, l).Add(t.violated);
+  }
+}
+
+}  // namespace gimbal::obs

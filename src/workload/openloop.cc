@@ -7,7 +7,13 @@ namespace gimbal::workload {
 OpenLoopWorker::OpenLoopWorker(sim::Simulator& sim,
                                fabric::Initiator& initiator,
                                OpenLoopSpec spec)
-    : sim_(sim), initiator_(initiator), spec_(spec), rng_(spec.seed) {
+    : sim_(sim),
+      initiator_(initiator),
+      spec_(spec),
+      rng_(spec.seed),
+      // The MMPP dwell machine draws from its own stream so burst phase is
+      // a property of the seed, not of how many IOs happened to arrive.
+      arrival_(spec.arrival, spec.seed ^ 0x6275727374ULL) {
   assert(spec_.region_bytes >= spec_.io_bytes && "region not set");
   assert(spec_.offered_iops > 0);
   seq_cursor_ = rng_.NextBounded(spec_.region_bytes / spec_.io_bytes);
@@ -20,8 +26,8 @@ void OpenLoopWorker::Start() {
 }
 
 void OpenLoopWorker::ScheduleArrival() {
-  double gap_ns = rng_.NextExponential(kNsPerSec / spec_.offered_iops);
-  sim_.After(static_cast<Tick>(gap_ns) + 1, [this]() {
+  const Tick gap = arrival_.NextGap(spec_.offered_iops, sim_.now(), rng_);
+  arrival_timer_ = sim_.After(gap, [this]() {
     if (!running_) return;
     Arrive();
     ScheduleArrival();
@@ -48,9 +54,7 @@ void OpenLoopWorker::Arrive() {
         --outstanding_;
         if (!cpl.ok()) {
           ++stats_.failed_ios;
-          return;
-        }
-        if (cpl.type == IoType::kRead) {
+        } else if (cpl.type == IoType::kRead) {
           stats_.read_bytes += cpl.length;
           ++stats_.read_ios;
           stats_.read_latency.Record(e2e);
@@ -59,6 +63,7 @@ void OpenLoopWorker::Arrive() {
           ++stats_.write_ios;
           stats_.write_latency.Record(e2e);
         }
+        if (sample_) sample_(cpl.tenant, cpl, e2e);
       });
 }
 

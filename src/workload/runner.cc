@@ -223,15 +223,25 @@ core::GimbalSwitch* Testbed::gimbal_switch(int i) {
              : nullptr;
 }
 
-fabric::Initiator& Testbed::AddInitiator(
-    int ssd_index, std::optional<fabric::ThrottleMode> throttle) {
+std::unique_ptr<fabric::Initiator> Testbed::MakeInitiator(
+    int ssd_index, TenantId tenant, fabric::ConnectMode connect,
+    std::optional<fabric::ThrottleMode> throttle) {
   obs::Observability* client_obs =
       shard_obs_.empty() ? cfg_.obs : shard_obs_[0].get();
-  initiators_.push_back(std::make_unique<fabric::Initiator>(
-      *sim_, *net_, *target_, ssd_index, next_tenant_++,
-      throttle.value_or(ThrottleFor(cfg_.scheme)), cfg_.parda, cfg_.retry));
-  initiators_.back()->AttachObservability(cfg_.obs ? client_obs : nullptr);
-  initiators_.back()->AttachChecker(check_);
+  auto init = std::make_unique<fabric::Initiator>(
+      *sim_, *net_, *target_, ssd_index, tenant,
+      throttle.value_or(ThrottleFor(cfg_.scheme)), cfg_.parda, cfg_.retry,
+      connect);
+  init->AttachObservability(cfg_.obs ? client_obs : nullptr);
+  init->AttachChecker(check_);
+  return init;
+}
+
+fabric::Initiator& Testbed::AddInitiator(
+    int ssd_index, std::optional<fabric::ThrottleMode> throttle) {
+  initiators_.push_back(MakeInitiator(ssd_index, next_tenant_++,
+                                      fabric::ConnectMode::kDirect,
+                                      throttle));
   return *initiators_.back();
 }
 

@@ -144,6 +144,20 @@ class Testbed {
       int ssd_index,
       std::optional<fabric::ThrottleMode> throttle = std::nullopt);
 
+  // Allocate a fresh tenant id (monotonic, never recycled: a churned
+  // session's id stays unique so ledgers, traces and late completions are
+  // never ambiguous between two lives of one slot).
+  TenantId AllocateTenantId() { return next_tenant_++; }
+
+  // Construct a fully-attached initiator owned by the *caller*. The
+  // open-loop fleet churns thousands of short-lived sessions and destroys
+  // each after drain; parking them in the testbed's own vector would grow
+  // it without bound. kCapsule connect makes mid-run bring-up shard-safe
+  // (registration rides the fabric in FIFO order ahead of the commands).
+  std::unique_ptr<fabric::Initiator> MakeInitiator(
+      int ssd_index, TenantId tenant, fabric::ConnectMode connect,
+      std::optional<fabric::ThrottleMode> throttle = std::nullopt);
+
   // Convenience: new tenant + fio worker on it. An unset region defaults
   // to the whole device.
   FioWorker& AddWorker(FioSpec spec, int ssd_index = 0);

@@ -1,0 +1,144 @@
+// Unit tests for the dense index-pool containers (src/common/index_arena.h)
+// that back every per-tenant hot-path map: SlabArena slot recycling and
+// live-list bookkeeping under churn, and IdIndexMap's open-addressing
+// semantics — overwrite, backshift deletion across wrapped probe chains,
+// and growth.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/index_arena.h"
+#include "common/rng.h"
+
+namespace gimbal::common {
+namespace {
+
+struct Slot {
+  explicit Slot(uint64_t k) : key(k) { scratch.reserve(4); }
+  void Reset(uint64_t k) {
+    key = k;
+    ++resets;  // scratch capacity must survive recycling
+    scratch.clear();
+  }
+  uint64_t key;
+  int resets = 0;
+  std::vector<int> scratch;
+};
+
+TEST(SlabArena, AllocateFreeRecyclesLifo) {
+  SlabArena<Slot> a;
+  const uint32_t s0 = a.Allocate(10);
+  const uint32_t s1 = a.Allocate(11);
+  const uint32_t s2 = a.Allocate(12);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.capacity(), 3u);
+
+  a.Free(s1);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.free_count(), 1u);
+
+  // LIFO recycling: the freed slot comes back first, Reset() not a fresh
+  // construction.
+  const uint32_t s3 = a.Allocate(13);
+  EXPECT_EQ(s3, s1);
+  EXPECT_EQ(a[s3].key, 13u);
+  EXPECT_EQ(a[s3].resets, 1);
+  EXPECT_EQ(a.capacity(), 3u);  // no new slot carved
+  (void)s0;
+  (void)s2;
+}
+
+TEST(SlabArena, LiveListTracksSwapRemove) {
+  SlabArena<Slot> a;
+  std::vector<uint32_t> slots;
+  for (uint64_t k = 0; k < 8; ++k) slots.push_back(a.Allocate(k));
+  a.Free(slots[2]);
+  a.Free(slots[5]);
+
+  std::set<uint32_t> live(a.live().begin(), a.live().end());
+  EXPECT_EQ(live.size(), 6u);
+  EXPECT_EQ(a.live().size(), a.size());
+  EXPECT_FALSE(live.count(slots[2]));
+  EXPECT_FALSE(live.count(slots[5]));
+  for (uint32_t s : a.live()) EXPECT_LT(a[s].key, 8u);
+}
+
+TEST(SlabArena, ChurnStormLeavesNoOrphans) {
+  // 100k alloc/free cycles over a 64-slot working set: capacity must stay
+  // at the high-water mark (recycling, not growth) and every slot must end
+  // up either live or on the free list.
+  SlabArena<Slot> a;
+  Rng rng(7);
+  std::vector<uint32_t> held;
+  for (int i = 0; i < 100000; ++i) {
+    if (held.size() < 64 && (held.empty() || rng.NextBool(0.55))) {
+      held.push_back(a.Allocate(static_cast<uint64_t>(i)));
+    } else {
+      const size_t j = rng.NextBounded(held.size());
+      a.Free(held[j]);
+      held[j] = held.back();
+      held.pop_back();
+    }
+  }
+  EXPECT_EQ(a.size(), held.size());
+  EXPECT_LE(a.capacity(), 64u);
+  EXPECT_EQ(a.capacity(), a.size() + a.free_count());
+  for (uint32_t s : held) a.Free(s);
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.capacity(), a.free_count());
+}
+
+TEST(IdIndexMap, PutFindEraseOverwrite) {
+  IdIndexMap m;
+  EXPECT_EQ(m.Find(42), IdIndexMap::kNotFound);
+  m.Put(42, 7);
+  EXPECT_EQ(m.Find(42), 7u);
+  m.Put(42, 9);  // overwrite, not duplicate
+  EXPECT_EQ(m.Find(42), 9u);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_TRUE(m.Erase(42));
+  EXPECT_FALSE(m.Erase(42));
+  EXPECT_EQ(m.Find(42), IdIndexMap::kNotFound);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(IdIndexMap, GrowthPreservesAllEntries) {
+  IdIndexMap m;
+  for (uint64_t k = 0; k < 10000; ++k) m.Put(k, static_cast<uint32_t>(k * 3));
+  EXPECT_EQ(m.size(), 10000u);
+  for (uint64_t k = 0; k < 10000; ++k) {
+    ASSERT_EQ(m.Find(k), static_cast<uint32_t>(k * 3)) << "key " << k;
+  }
+}
+
+TEST(IdIndexMap, BackshiftDeletionKeepsProbeChainsIntact) {
+  // Randomized differential test against a reference map: interleaved
+  // insert/erase churn exercises backshift deletion across wrapped chains
+  // (sequential-ish keys hash adjacently often enough after SplitMix64 at
+  // high load).
+  IdIndexMap m;
+  std::set<uint64_t> ref;
+  Rng rng(11);
+  for (int i = 0; i < 200000; ++i) {
+    const uint64_t key = rng.NextBounded(512);  // small space => collisions
+    if (rng.NextBool(0.5)) {
+      m.Put(key, static_cast<uint32_t>(key + 1));
+      ref.insert(key);
+    } else {
+      EXPECT_EQ(m.Erase(key), ref.erase(key) > 0) << "key " << key;
+    }
+  }
+  EXPECT_EQ(m.size(), ref.size());
+  for (uint64_t k = 0; k < 512; ++k) {
+    if (ref.count(k)) {
+      ASSERT_EQ(m.Find(k), static_cast<uint32_t>(k + 1)) << "key " << k;
+    } else {
+      ASSERT_EQ(m.Find(k), IdIndexMap::kNotFound) << "key " << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gimbal::common

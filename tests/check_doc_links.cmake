@@ -1,0 +1,67 @@
+# Docs link checker: scans every tracked *.md file for intra-repo markdown
+# links and fails if any target file is missing. External links (http/https/
+# mailto) and pure #anchors are skipped; a "path#anchor" link is checked for
+# the path only. Run as:
+#   cmake -DREPO_ROOT=<repo> -P tests/check_doc_links.cmake
+#
+# Link extraction uses string(FIND) rather than a regex: CMake's regex
+# engine cannot express "any char except )" (a ')' inside a bracket set is
+# not honoured), so "[a](x); [b](y)" would match as one span.
+cmake_minimum_required(VERSION 3.16)
+
+if(NOT DEFINED REPO_ROOT)
+  message(FATAL_ERROR "pass -DREPO_ROOT=<repo checkout>")
+endif()
+
+file(GLOB_RECURSE MD_FILES ${REPO_ROOT}/*.md)
+# Out-of-source build trees may sit inside the checkout; skip anything that
+# is not part of the repo proper.
+list(FILTER MD_FILES EXCLUDE REGEX "/(build|builds|cmake-build-[^/]*)/")
+
+set(broken 0)
+set(checked 0)
+foreach(md ${MD_FILES})
+  file(READ ${md} rest)
+  get_filename_component(md_dir ${md} DIRECTORY)
+  while(TRUE)
+    # Markdown inline link: [text](target) — seek "](", take up to ")".
+    string(FIND "${rest}" "](" open)
+    if(open EQUAL -1)
+      break()
+    endif()
+    math(EXPR open "${open} + 2")
+    string(SUBSTRING "${rest}" ${open} -1 rest)
+    string(FIND "${rest}" ")" close)
+    if(close EQUAL -1)
+      break()
+    endif()
+    string(SUBSTRING "${rest}" 0 ${close} target)
+    # External and in-page references are out of scope; so is anything with
+    # whitespace (a "](" that was not a markdown link, e.g. in code).
+    if(target MATCHES "^[a-zA-Z][a-zA-Z0-9+.-]*:" OR target MATCHES "^#" OR
+       target MATCHES "[ \t\r\n]")
+      continue()
+    endif()
+    # Drop a trailing anchor or query.
+    string(REGEX REPLACE "[#?].*$" "" target "${target}")
+    if(target STREQUAL "")
+      continue()
+    endif()
+    if(IS_ABSOLUTE "${target}")
+      set(resolved "${target}")
+    else()
+      set(resolved "${md_dir}/${target}")
+    endif()
+    math(EXPR checked "${checked} + 1")
+    if(NOT EXISTS "${resolved}")
+      file(RELATIVE_PATH rel_md ${REPO_ROOT} ${md})
+      message(SEND_ERROR "dead link in ${rel_md}: (${target})")
+      math(EXPR broken "${broken} + 1")
+    endif()
+  endwhile()
+endforeach()
+
+if(broken GREATER 0)
+  message(FATAL_ERROR "${broken} dead intra-repo link(s) found")
+endif()
+message(STATUS "docs link check: ${checked} intra-repo links OK")

@@ -296,7 +296,7 @@ TEST(MetricsRegistry, CsvSnapshotHasHeaderAndRows) {
   std::getline(in, header);
   EXPECT_EQ(header,
             "name,kind,unit,run,tenant,ssd,value,count,min,mean,p50,p95,p99,"
-            "max");
+            "p999,max");
   int rows = 0;
   for (std::string line; std::getline(in, line);) ++rows;
   EXPECT_EQ(rows, 2);
