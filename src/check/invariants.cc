@@ -504,6 +504,59 @@ void InvariantChecker::OnHealthTransition(int ssd, int from, int to) {
   }
 }
 
+// --- KV fault tolerance ------------------------------------------------------
+
+void InvariantChecker::OnKvWriteAck(TenantId instance, int ssd, int durable,
+                                    bool acked) {
+  const LockGuard lock(*this);
+  ++checks_run_;
+  if (acked && durable < 1) {
+    Violate("kv.ack.lost", instance, ssd,
+            Format("write acked with %d durable replicas — acked data could "
+                   "be lost",
+                   durable));
+  }
+}
+
+void InvariantChecker::OnKvDirtyRecord(TenantId instance, int ssd,
+                                       uint64_t bytes) {
+  const LockGuard lock(*this);
+  ++checks_run_;
+  KvLedger& l = kv_[Key(instance, ssd)];
+  ++l.recorded;
+  l.recorded_bytes += bytes;
+}
+
+void InvariantChecker::OnKvDirtyRepair(TenantId instance, int ssd,
+                                       uint64_t bytes) {
+  const LockGuard lock(*this);
+  ++checks_run_;
+  KvLedger& l = kv_[Key(instance, ssd)];
+  ++l.repaired;
+  l.repaired_bytes += bytes;
+  if (l.repaired + l.dropped > l.recorded) {
+    Violate("kv.dirty.balance", instance, ssd,
+            Format("repaired=%" PRIu64 " + dropped=%" PRIu64
+                   " exceed recorded=%" PRIu64,
+                   l.repaired, l.dropped, l.recorded));
+  }
+}
+
+void InvariantChecker::OnKvDirtyDrop(TenantId instance, int ssd,
+                                     uint64_t bytes) {
+  const LockGuard lock(*this);
+  ++checks_run_;
+  KvLedger& l = kv_[Key(instance, ssd)];
+  ++l.dropped;
+  l.dropped_bytes += bytes;
+  if (l.repaired + l.dropped > l.recorded) {
+    Violate("kv.dirty.balance", instance, ssd,
+            Format("repaired=%" PRIu64 " + dropped=%" PRIu64
+                   " exceed recorded=%" PRIu64,
+                   l.repaired, l.dropped, l.recorded));
+  }
+}
+
 // --- End-of-run ------------------------------------------------------------
 
 bool InvariantChecker::CheckDrained() {
@@ -539,6 +592,19 @@ bool InvariantChecker::CheckDrained() {
               Format("dispatched=%" PRIu64 " but device returns=%" PRIu64
                      " after drain",
                      p.dispatched, p.device_returns));
+    }
+  }
+  for (const auto& [key, l] : kv_) {
+    ++checks_run_;
+    // Key(instance, ssd) packs ssd into the low 16 bits, instance above.
+    const TenantId instance = static_cast<TenantId>(key >> 16);
+    const int ssd = static_cast<int>(key & 0xFFFF);
+    if (l.repaired + l.dropped != l.recorded) {
+      Violate("drain.kv.dirty", instance, ssd,
+              Format("dirty replicas recorded=%" PRIu64 " but repaired=%"
+                     PRIu64 " + dropped=%" PRIu64
+                     " after drain — replica count did not converge",
+                     l.recorded, l.repaired, l.dropped));
     }
   }
   return violations_.size() == before;

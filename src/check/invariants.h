@@ -160,6 +160,20 @@ class InvariantChecker {
   // mutation target). States use the fault::SsdHealth numeric values.
   void OnHealthTransition(int ssd, int from, int to);
 
+  // --- KV fault tolerance (docs/FAULTS.md) ---------------------------------
+  // A replicated blob write was acked to the DB with `durable` copies on
+  // stable storage. "No acked write is ever lost": an ack with zero durable
+  // replicas is an immediate violation, regardless of later rebuilds.
+  void OnKvWriteAck(TenantId instance, int ssd, int durable, bool acked);
+  // A blob entered the dirty-replica ledger (degraded write: `ssd` is the
+  // backend missing its copy).
+  void OnKvDirtyRecord(TenantId instance, int ssd, uint64_t bytes);
+  // The rebuild scanner re-replicated a dirty blob onto `ssd`.
+  void OnKvDirtyRepair(TenantId instance, int ssd, uint64_t bytes);
+  // A dirty blob was invalidated before repair (its data was trimmed —
+  // flushed WAL or compacted table — so re-replication became moot).
+  void OnKvDirtyDrop(TenantId instance, int ssd, uint64_t bytes);
+
   // --- End-of-run ----------------------------------------------------------
   // Balance checks over every ledger; call only after a full drain.
   // Returns true when no new violation was recorded.
@@ -214,6 +228,18 @@ class InvariantChecker {
     uint64_t serves_since_scan = 0;
     std::vector<DrrMember> members;  // dense, swap-remove on leave
     common::IdIndexMap index;        // tenant -> position in members
+  };
+  // Dirty-replica bookkeeping per (instance, backend). Low cardinality
+  // (instances x backends), so a plain map suffices. "Replica count
+  // converges to 2 after faults clear": once drained, every recorded dirty
+  // blob was either repaired or invalidated by a trim.
+  struct KvLedger {
+    uint64_t recorded = 0;
+    uint64_t repaired = 0;
+    uint64_t dropped = 0;
+    uint64_t recorded_bytes = 0;
+    uint64_t repaired_bytes = 0;
+    uint64_t dropped_bytes = 0;
   };
 
   static uint64_t Key(TenantId tenant, int ssd) {
@@ -273,6 +299,7 @@ class InvariantChecker {
   common::SlabArena<PolicyLedger> policies_;
   common::IdIndexMap policy_index_;
   std::unordered_map<int, DrrState> drr_;
+  std::unordered_map<uint64_t, KvLedger> kv_;  // Key(instance, backend)
 };
 
 }  // namespace gimbal::check

@@ -9,17 +9,28 @@ KvCluster::KvCluster(KvClusterConfig cfg)
 
 KvCluster::Instance& KvCluster::AddInstance() {
   auto inst = std::make_unique<Instance>();
+  inst->id = static_cast<int>(instances_.size());
   for (int b = 0; b < cfg_.testbed.num_ssds; ++b) {
     inst->initiators.push_back(&bed_.AddInitiator(b, cfg_.throttle));
   }
-  inst->blobs = std::make_unique<Blobstore>(inst->initiators,
+  inst->blobs = std::make_unique<Blobstore>(bed_.sim(), inst->initiators,
                                             cfg_.load_balance_reads);
+  inst->blobs->AttachObservability(bed_.client_obs(), inst->id);
+  inst->blobs->AttachChecker(&bed_.checker());
   Blobstore* blobs = inst->blobs.get();
   // The local allocator's load signal is the §3.7 virtual-view credit.
   inst->alloc = std::make_unique<LocalBlobAllocator>(
       global_, [blobs](int backend) { return blobs->credits(backend); });
   inst->db = std::make_unique<KvDb>(bed_.sim(), *inst->blobs, *inst->alloc,
                                     cfg_.db);
+  inst->db->AttachObservability(bed_.client_obs(), inst->id);
+  // Re-replication rides at background priority next to flush/compaction;
+  // the ledger callback wakes it on a new dirty entry or an observed
+  // backend recovery. Fault-free it never runs.
+  inst->rebuild = std::make_unique<RebuildScanner>(
+      bed_.sim(), *inst->blobs, cfg_.db.background_priority);
+  RebuildScanner* rebuild = inst->rebuild.get();
+  inst->blobs->SetDirtyCallback([rebuild]() { rebuild->Poke(); });
   instances_.push_back(std::move(inst));
   return *instances_.back();
 }
@@ -42,6 +53,16 @@ void YcsbClient::Finish(Tick start, bool is_read) {
   if (running_) IssueOne();
 }
 
+bool YcsbClient::Note(IoStatus st) {
+  if (st == IoStatus::kOk) return true;
+  if (st == IoStatus::kAborted) {
+    ++stats_.aborted;
+  } else {
+    ++stats_.failed;
+  }
+  return false;
+}
+
 void YcsbClient::IssueOne() {
   auto op = gen_.Next();
   Tick start = sim_.now();
@@ -49,38 +70,46 @@ void YcsbClient::IssueOne() {
   switch (op.op) {
     case workload::YcsbOp::kRead:
       ++stats_.reads;
-      db_.Get(op.key, [this, start](bool found, Value) {
-        if (!found) ++stats_.not_found;
+      db_.Get(op.key, [this, start](IoStatus st, bool found, Value) {
+        if (Note(st) && !found) ++stats_.not_found;
         Finish(start, true);
       });
       break;
     case workload::YcsbOp::kUpdate:
       ++stats_.updates;
-      db_.Put(op.key, vb, next_stamp_++, [this, start]() {
+      db_.Put(op.key, vb, next_stamp_++, [this, start](IoStatus st) {
+        Note(st);
         Finish(start, false);
       });
       break;
     case workload::YcsbOp::kInsert:
       ++stats_.inserts;
-      db_.Put(op.key, vb, next_stamp_++, [this, start]() {
+      db_.Put(op.key, vb, next_stamp_++, [this, start](IoStatus st) {
+        Note(st);
         Finish(start, false);
       });
       break;
     case workload::YcsbOp::kScan:
       ++stats_.scans;
-      db_.Scan(op.key, op.scan_length, [this, start](auto results) {
-        stats_.scanned_records += results.size();
-        Finish(start, true);
-      });
+      db_.Scan(op.key, op.scan_length,
+               [this, start](IoStatus st, auto results) {
+                 Note(st);
+                 stats_.scanned_records += results.size();
+                 Finish(start, true);
+               });
       break;
     case workload::YcsbOp::kReadModifyWrite:
       ++stats_.rmws;
-      db_.Get(op.key, [this, start, key = op.key, vb](bool found, Value) {
-        if (!found) ++stats_.not_found;
-        db_.Put(key, vb, next_stamp_++, [this, start]() {
-          Finish(start, false);
-        });
-      });
+      db_.Get(op.key,
+              [this, start, key = op.key, vb](IoStatus st, bool found, Value) {
+                if (Note(st) && !found) ++stats_.not_found;
+                // The write half proceeds regardless: a failed read does
+                // not invalidate the modify-write (blind RMW semantics).
+                db_.Put(key, vb, next_stamp_++, [this, start](IoStatus wst) {
+                  Note(wst);
+                  Finish(start, false);
+                });
+              });
       break;
   }
 }

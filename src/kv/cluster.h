@@ -12,6 +12,7 @@
 #include "kv/blobstore.h"
 #include "kv/db.h"
 #include "kv/hba.h"
+#include "kv/rebuild.h"
 #include "workload/runner.h"
 #include "workload/ycsb.h"
 
@@ -29,10 +30,13 @@ struct KvClusterConfig {
 class KvCluster {
  public:
   struct Instance {
+    int id = -1;  // tenant label on kv.* metrics and checker ledgers
     std::vector<fabric::Initiator*> initiators;  // one per backend
     std::unique_ptr<Blobstore> blobs;
     std::unique_ptr<LocalBlobAllocator> alloc;
     std::unique_ptr<KvDb> db;
+    // Drains the blobstore's dirty-replica ledger after degraded writes.
+    std::unique_ptr<RebuildScanner> rebuild;
   };
 
   explicit KvCluster(KvClusterConfig cfg);
@@ -69,6 +73,8 @@ class YcsbClient {
     uint64_t scans = 0;
     uint64_t scanned_records = 0;
     uint64_t not_found = 0;
+    uint64_t failed = 0;   // ops resolved with a fault status
+    uint64_t aborted = 0;  // ops killed by a crash / teardown (kAborted)
     LatencyHistogram read_latency;  // client-observed Get latency
     LatencyHistogram op_latency;    // all ops end-to-end
     void Reset() { *this = Stats{}; }
@@ -78,6 +84,8 @@ class YcsbClient {
  private:
   void IssueOne();
   void Finish(Tick start, bool is_read);
+  // Tally a terminal status; returns true when the op resolved kOk.
+  bool Note(IoStatus st);
 
   sim::Simulator& sim_;
   KvDb& db_;

@@ -3,10 +3,14 @@
 // The simulator is single-threaded, so these are thin awaitable shims:
 //
 //   sim::Task Client(kv::KvDb& db, sim::Simulator& sim) {
-//     co_await kv::AwaitPut(db, 42, 1024, 1);
+//     IoStatus st = co_await kv::AwaitPut(db, 42, 1024, 1);
 //     auto [found, value] = co_await kv::AwaitGet(db, 42);
 //     auto rows = co_await kv::AwaitScan(db, 0, 10);
 //   }
+//
+// Each awaitable surfaces the op's terminal IoStatus (docs/FAULTS.md):
+// AwaitPut returns it; AwaitGet/AwaitScan keep their value-shaped results
+// and expose `status()` for callers that care about fault handling.
 #pragma once
 
 #include <coroutine>
@@ -17,7 +21,7 @@
 
 namespace gimbal::kv {
 
-// co_await AwaitPut(db, key, bytes, stamp) -> void (resumes when durable).
+// co_await AwaitPut(db, key, bytes, stamp) -> IoStatus (kOk once durable).
 class AwaitPut {
  public:
   AwaitPut(KvDb& db, Key key, uint32_t bytes, uint64_t stamp)
@@ -25,15 +29,19 @@ class AwaitPut {
 
   bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h) {
-    db_.Put(key_, bytes_, stamp_, [h]() { h.resume(); });
+    db_.Put(key_, bytes_, stamp_, [this, h](IoStatus st) {
+      status_ = st;
+      h.resume();
+    });
   }
-  void await_resume() const noexcept {}
+  IoStatus await_resume() const noexcept { return status_; }
 
  private:
   KvDb& db_;
   Key key_;
   uint32_t bytes_;
   uint64_t stamp_;
+  IoStatus status_ = IoStatus::kOk;
 };
 
 // co_await AwaitGet(db, key) -> std::pair<bool, Value>.
@@ -43,16 +51,19 @@ class AwaitGet {
 
   bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h) {
-    db_.Get(key_, [this, h](bool found, Value v) {
+    db_.Get(key_, [this, h](IoStatus st, bool found, Value v) {
+      status_ = st;
       result_ = {found, v};
       h.resume();
     });
   }
   std::pair<bool, Value> await_resume() const noexcept { return result_; }
+  IoStatus status() const noexcept { return status_; }
 
  private:
   KvDb& db_;
   Key key_;
+  IoStatus status_ = IoStatus::kOk;
   std::pair<bool, Value> result_{false, Value{}};
 };
 
@@ -64,7 +75,8 @@ class AwaitScan {
 
   bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h) {
-    db_.Scan(start_, count_, [this, h](auto results) {
+    db_.Scan(start_, count_, [this, h](IoStatus st, auto results) {
+      status_ = st;
       results_ = std::move(results);
       h.resume();
     });
@@ -72,11 +84,13 @@ class AwaitScan {
   std::vector<std::pair<Key, Value>> await_resume() noexcept {
     return std::move(results_);
   }
+  IoStatus status() const noexcept { return status_; }
 
  private:
   KvDb& db_;
   Key start_;
   uint32_t count_;
+  IoStatus status_ = IoStatus::kOk;
   std::vector<std::pair<Key, Value>> results_;
 };
 

@@ -159,6 +159,32 @@ inline constexpr MetricDef kSloTenantWindowsViolated{
     "violated windows per tenant (tenant-labelled; folds to tenant=\"other\" "
     "past the registry's cardinality cap)",
     "obs/slo.cc:Export"};
+inline constexpr MetricDef kKvFailoverReads{
+    "kv.failover_reads", "ios",
+    "blob reads retried on the surviving replica after a non-ok completion",
+    "kv/blobstore.cc:StartRead"};
+inline constexpr MetricDef kKvDegradedWrites{
+    "kv.degraded_writes", "ios",
+    "replicated writes acked at quorum-of-available (one replica durable, "
+    "the other recorded in the dirty-replica ledger)",
+    "kv/blobstore.cc:WriteReplicated"};
+inline constexpr MetricDef kKvRebuildBytes{
+    "kv.rebuild_bytes", "bytes",
+    "dirty-replica bytes re-replicated by the background rebuild scanner",
+    "kv/blobstore.cc:MarkRepaired"};
+inline constexpr MetricDef kKvLostWrites{
+    "kv.lost_writes", "ios",
+    "acked writes with zero durable replicas — must stay 0 (docs/FAULTS.md)",
+    "kv/blobstore.cc:WriteReplicated"};
+inline constexpr MetricDef kKvWalRetries{
+    "kv.wal_retries", "batches",
+    "WAL group-commit batches re-submitted after both replicas failed "
+    "(waiters held un-acked until a copy is durable)",
+    "kv/db.cc:MaybeFlushWal"};
+inline constexpr MetricDef kKvRecoveries{
+    "kv.recoveries", "events",
+    "DB instances recovered from a simulated crash by WAL replay",
+    "kv/db.cc:Recover"};
 
 // ---------------------------------------------------------------------------
 // Gauges
@@ -234,6 +260,10 @@ inline constexpr MetricDef kSloTenantsViolated{
     "slo.tenants.violated", "tenants",
     "tenants that violated at least one window over their lifetime",
     "obs/slo.cc:CloseWindow"};
+inline constexpr MetricDef kKvDirtyReplicas{
+    "kv.dirty_replicas", "blobs",
+    "dirty-replica ledger depth (blobs awaiting re-replication)",
+    "kv/blobstore.cc:RecordDirty/rebuild.cc"};
 
 // ---------------------------------------------------------------------------
 // Histograms (log-bucketed; JSON/CSV report count/min/mean/p50/p95/p99/max)
@@ -276,5 +306,10 @@ inline constexpr const char* kEvRetry = "initiator.retry";
 inline constexpr const char* kEvTimeout = "initiator.timeout";
 inline constexpr const char* kEvTenantCrash = "tenant.crash";
 inline constexpr const char* kEvTenantReap = "tenant.reap";
+inline constexpr const char* kEvKvFailover = "kv.failover";
+inline constexpr const char* kEvKvDegradedWrite = "kv.degraded_write";
+inline constexpr const char* kEvKvRebuild = "kv.rebuild";
+inline constexpr const char* kEvKvWalRetry = "kv.wal_retry";
+inline constexpr const char* kEvKvRecover = "kv.recover";
 
 }  // namespace gimbal::obs::schema

@@ -37,6 +37,18 @@ Ssd::Ssd(sim::Simulator& sim, SsdConfig config)
   gc_active_.assign(config_.dies(), 0);
 }
 
+Ssd::~Ssd() {
+  // A testbed destroyed with IOs still dispatched (teardown mid-run, a
+  // failed device drained administratively) also destroys the simulator's
+  // queued die/channel events — the completions that would have freed
+  // this state never run, so reap it here.
+  while (pending_ops_) {
+    PendingIo* op = pending_ops_;
+    pending_ops_ = op->next;
+    delete op;
+  }
+}
+
 void Ssd::Submit(const DeviceIo& io, CompletionFn done) {
   assert(io.length > 0);
   assert(io.offset % config_.page_bytes == 0);
@@ -77,6 +89,7 @@ void Ssd::FinishPart(PendingIo* op) {
     op->cpl.complete_time = sim_.now();
     --inflight_;
     op->done(op->cpl);
+    UnlinkPending(op);
     delete op;
   }
 }
@@ -124,6 +137,7 @@ void Ssd::DispatchRead(const DeviceIo& io, CompletionFn done,
   }
 
   auto* op = new PendingIo;
+  LinkPending(op);
   op->cpl.cookie = io.cookie;
   op->cpl.type = io.type;
   op->cpl.length = io.length;
@@ -183,6 +197,7 @@ void Ssd::AdmitWrite(const DeviceIo& io, CompletionFn done, Tick submit_time) {
   }
   // The host sees the write complete once the data is in the DRAM buffer.
   auto* op = new PendingIo;
+  LinkPending(op);
   op->cpl.cookie = io.cookie;
   op->cpl.type = io.type;
   op->cpl.length = io.length;
@@ -319,12 +334,19 @@ void Ssd::GcRelocateBatch(int die, uint32_t victim,
     // suspendable slices so host reads queued at high priority interleave.
     const int slices = config_.erase_slices > 0 ? config_.erase_slices : 1;
     const Tick slice = config_.erase_latency / slices;
+    // The stored function holds only a weak self-reference — the strong
+    // one rides in the queued erase-slice closure — so the chain frees
+    // itself (and doesn't outlive a torn-down testbed) once the last
+    // slice runs or its event is dropped.
     auto run_slice = std::make_shared<std::function<void(int)>>();
-    *run_slice = [this, die, victim, slices, slice, run_slice](int i) {
+    *run_slice = [this, die, victim, slices, slice,
+                  wrs = std::weak_ptr<std::function<void(int)>>(run_slice)](
+                     int i) {
+      auto self = wrs.lock();
       die_res_[die]->AcquireLow(slice, [this, die, victim, slices, i,
-                                        run_slice]() {
+                                        self]() {
         if (i + 1 < slices) {
-          (*run_slice)(i + 1);
+          (*self)(i + 1);
           return;
         }
         ftl_.EraseBlock(victim);

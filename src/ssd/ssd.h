@@ -44,6 +44,7 @@ struct SsdCounters {
 class Ssd : public BlockDevice {
  public:
   Ssd(sim::Simulator& sim, SsdConfig config);
+  ~Ssd() override;
 
   // BlockDevice interface -----------------------------------------------------
   void Submit(const DeviceIo& io, CompletionFn done) override;
@@ -72,6 +73,10 @@ class Ssd : public BlockDevice {
     int remaining = 0;
     DeviceCompletion cpl;
     CompletionFn done;
+    // Intrusive in-flight list: a testbed torn down mid-run drops the
+    // resource events that would have finished these, so ~Ssd reaps them.
+    PendingIo* prev = nullptr;
+    PendingIo* next = nullptr;
   };
   struct WaitingWrite {
     DeviceIo io;
@@ -90,6 +95,19 @@ class Ssd : public BlockDevice {
   void GcRelocateBatch(int die, uint32_t victim,
                        std::shared_ptr<std::vector<Lpn>> valid, size_t index);
   void FinishPart(PendingIo* op);
+  void LinkPending(PendingIo* op) {
+    op->next = pending_ops_;
+    if (pending_ops_) pending_ops_->prev = op;
+    pending_ops_ = op;
+  }
+  void UnlinkPending(PendingIo* op) {
+    if (op->prev) {
+      op->prev->next = op->next;
+    } else {
+      pending_ops_ = op->next;
+    }
+    if (op->next) op->next->prev = op->prev;
+  }
 
   uint64_t buffer_free() const {
     return config_.write_buffer_bytes - buffer_used_;
@@ -124,6 +142,7 @@ class Ssd : public BlockDevice {
 
   SsdCounters counters_;
   uint32_t inflight_ = 0;
+  PendingIo* pending_ops_ = nullptr;  // head of the in-flight intrusive list
 
   // Observability (null = not observed; see docs/OBSERVABILITY.md).
   obs::Observability* obs_ = nullptr;

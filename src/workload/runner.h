@@ -134,7 +134,23 @@ class Testbed {
   // The invariant checker attached to this testbed (config-supplied or the
   // testbed's own fail-fast instance).
   check::InvariantChecker& checker() { return *check_; }
+  // Observability for client-domain components (shard 0 under sharding,
+  // the session instance otherwise); null when the run is unobserved.
+  obs::Observability* client_obs() {
+    return shard_obs_.empty() ? cfg_.obs : shard_obs_[0].get();
+  }
   const TestbedConfig& config() const { return cfg_; }
+
+  // Publish shard-local tracer events and metric totals into the session
+  // Observability (cfg.obs). Run() does this at the end of every window;
+  // call sites that drive sim().RunUntil() directly (the KV cluster, fault
+  // benches) call it before reading session-registry series mid-run.
+  // No-op in single-simulator mode, where components already record into
+  // cfg.obs.
+  void FlushObservability() {
+    MergeShardTracers();
+    FlushShardMetrics();
+  }
 
   // Create a new tenant attached to SSD `ssd_index`; throttle mode follows
   // the scheme (credits for Gimbal, latency window for Parda) unless

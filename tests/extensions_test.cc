@@ -158,7 +158,7 @@ TEST(KvScan, ScansBulkLoadedRange) {
   auto& inst = cluster.AddInstance();
   inst.db->BulkLoad(10'000, 1024);
   std::vector<std::pair<kv::Key, kv::Value>> got;
-  inst.db->Scan(500, 50, [&](auto results) { got = std::move(results); });
+  inst.db->Scan(500, 50, [&](IoStatus, auto results) { got = std::move(results); });
   cluster.sim().RunUntil(Milliseconds(50));
   ASSERT_EQ(got.size(), 50u);
   for (uint32_t i = 0; i < 50; ++i) EXPECT_EQ(got[i].first, 500 + i);
@@ -172,7 +172,7 @@ TEST(KvScan, SeesMemtableUpdates) {
   inst.db->Put(100, 1024, /*stamp=*/777, nullptr);
   inst.db->Delete(101, nullptr);
   std::vector<std::pair<kv::Key, kv::Value>> got;
-  inst.db->Scan(99, 4, [&](auto results) { got = std::move(results); });
+  inst.db->Scan(99, 4, [&](IoStatus, auto results) { got = std::move(results); });
   cluster.sim().RunUntil(Milliseconds(50));
   ASSERT_GE(got.size(), 3u);
   EXPECT_EQ(got[0].first, 99u);
@@ -186,7 +186,7 @@ TEST(KvScan, EmptyRange) {
   auto& inst = cluster.AddInstance();
   inst.db->BulkLoad(100, 1024);
   bool called = false;
-  inst.db->Scan(10'000, 10, [&](auto results) {
+  inst.db->Scan(10'000, 10, [&](IoStatus, auto results) {
     called = true;
     EXPECT_TRUE(results.empty());
   });
@@ -199,7 +199,7 @@ TEST(KvScan, CountRespected) {
   auto& inst = cluster.AddInstance();
   inst.db->BulkLoad(1'000, 1024);
   std::vector<std::pair<kv::Key, kv::Value>> got;
-  inst.db->Scan(0, 7, [&](auto results) { got = std::move(results); });
+  inst.db->Scan(0, 7, [&](IoStatus, auto results) { got = std::move(results); });
   cluster.sim().RunUntil(Milliseconds(50));
   EXPECT_EQ(got.size(), 7u);
 }
@@ -213,7 +213,7 @@ TEST(KvScan, MergesAcrossFlushedTables) {
   for (kv::Key k = 0; k < 400; k += 2) inst.db->Put(k, 1024, 1000 + k, nullptr);
   cluster.sim().RunUntil(cluster.sim().now() + Milliseconds(200));
   std::vector<std::pair<kv::Key, kv::Value>> got;
-  inst.db->Scan(10, 6, [&](auto results) { got = std::move(results); });
+  inst.db->Scan(10, 6, [&](IoStatus, auto results) { got = std::move(results); });
   cluster.sim().RunUntil(cluster.sim().now() + Milliseconds(100));
   ASSERT_EQ(got.size(), 6u);
   EXPECT_EQ(got[0].second.stamp, 1010u);  // even key: updated version

@@ -27,10 +27,10 @@ TEST(KvDb, PutThenGetFromMemtable) {
   KvCluster cluster(SmallCluster());
   auto& inst = cluster.AddInstance();
   bool put_done = false;
-  inst.db->Put(42, 1024, 7, [&]() { put_done = true; });
+  inst.db->Put(42, 1024, 7, [&](IoStatus) { put_done = true; });
   bool found = false;
   Value got;
-  inst.db->Get(42, [&](bool f, Value v) {
+  inst.db->Get(42, [&](IoStatus, bool f, Value v) {
     found = f;
     got = v;
   });
@@ -45,7 +45,7 @@ TEST(KvDb, GetMissingKey) {
   KvCluster cluster(SmallCluster());
   auto& inst = cluster.AddInstance();
   bool called = false, found = true;
-  inst.db->Get(999, [&](bool f, Value) {
+  inst.db->Get(999, [&](IoStatus, bool f, Value) {
     called = true;
     found = f;
   });
@@ -60,7 +60,7 @@ TEST(KvDb, DeleteHidesKey) {
   inst.db->Put(5, 1024, 1, nullptr);
   inst.db->Delete(5, nullptr);
   bool found = true;
-  inst.db->Get(5, [&](bool f, Value) { found = f; });
+  inst.db->Get(5, [&](IoStatus, bool f, Value) { found = f; });
   cluster.sim().RunUntil(Milliseconds(10));
   EXPECT_FALSE(found);
 }
@@ -69,7 +69,7 @@ TEST(KvDb, WalMakesPutsDurableBeforeCallback) {
   KvCluster cluster(SmallCluster());
   auto& inst = cluster.AddInstance();
   Tick done_at = -1;
-  inst.db->Put(1, 1024, 1, [&]() { done_at = cluster.sim().now(); });
+  inst.db->Put(1, 1024, 1, [&](IoStatus) { done_at = cluster.sim().now(); });
   cluster.sim().RunUntil(Milliseconds(20));
   // A WAL round trip through the fabric takes real simulated time.
   EXPECT_GT(done_at, Microseconds(10));
@@ -101,7 +101,7 @@ TEST(KvDb, ReadYourWritesAcrossFlush) {
   int checked = 0, correct = 0;
   for (uint64_t k = 0; k < 600; k += 37) {
     ++checked;
-    inst.db->Get(k, [&, k](bool f, Value v) {
+    inst.db->Get(k, [&, k](IoStatus, bool f, Value v) {
       if (f && v.stamp == 1000 + k) ++correct;
     });
   }
@@ -122,7 +122,7 @@ TEST(KvDb, OverwriteNewestWinsAfterCompaction) {
   EXPECT_GT(inst.db->stats().compactions, 0u);
   int correct = 0;
   for (uint64_t k = 0; k < 256; k += 17) {
-    inst.db->Get(k, [&, k](bool f, Value v) {
+    inst.db->Get(k, [&, k](IoStatus, bool f, Value v) {
       if (f && v.stamp == 5000 + k) ++correct;
     });
   }
@@ -137,7 +137,7 @@ TEST(KvDb, BulkLoadServesReadsWithIo) {
   bool found = false;
   Tick lat = 0;
   Tick start = cluster.sim().now();
-  inst.db->Get(1234, [&](bool f, Value) {
+  inst.db->Get(1234, [&](IoStatus, bool f, Value) {
     found = f;
     lat = cluster.sim().now() - start;
   });
@@ -198,7 +198,7 @@ TEST(KvDb, WriteStallsUnderFloodEventuallyDrain) {
   int done = 0;
   const int n = 3000;
   for (int k = 0; k < n; ++k) {
-    inst.db->Put(static_cast<Key>(k), 1024, 1, [&]() { ++done; });
+    inst.db->Put(static_cast<Key>(k), 1024, 1, [&](IoStatus) { ++done; });
   }
   cluster.sim().RunUntil(Seconds(3));
   EXPECT_EQ(done, n);
