@@ -557,6 +557,154 @@ void InvariantChecker::OnKvDirtyDrop(TenantId instance, int ssd,
   }
 }
 
+// --- Transactions ----------------------------------------------------------
+
+InvariantChecker::TxnState* InvariantChecker::FindTxn(TenantId instance,
+                                                      uint64_t txn) {
+  auto it = txn_live_.find(TxnKey(instance, txn));
+  return it == txn_live_.end() ? nullptr : &it->second;
+}
+
+void InvariantChecker::OnTxnBegin(TenantId instance, uint64_t txn,
+                                  uint64_t ts) {
+  const LockGuard lock(*this);
+  ++checks_run_;
+  TxnLedger& l = txns_[static_cast<int32_t>(instance)];
+  ++l.begun;
+  ++l.live;
+  auto [it, inserted] = txn_live_.try_emplace(TxnKey(instance, txn));
+  if (!inserted) {
+    Violate("txn.lifecycle", instance, -1,
+            Format("txn %" PRIu64 " began twice", txn));
+    return;
+  }
+  it->second.ts = ts;
+}
+
+void InvariantChecker::OnTxnLockAcquire(TenantId instance, uint64_t txn,
+                                        uint64_t key, bool exclusive,
+                                        bool upgrade) {
+  const LockGuard lock(*this);
+  ++checks_run_;
+  (void)exclusive;
+  TxnState* t = FindTxn(instance, txn);
+  if (t == nullptr) {
+    Violate("txn.lifecycle", instance, -1,
+            Format("lock acquire on key %" PRIu64 " by unknown txn %" PRIu64,
+                   key, txn));
+    return;
+  }
+  // Strict two-phase discipline: the growing phase ends at the first
+  // release; any acquire after that would let another transaction slip
+  // between this one's reads and writes.
+  if (t->releasing) {
+    Violate("txn.two_phase", instance, -1,
+            Format("txn %" PRIu64 " acquired key %" PRIu64
+                   " after entering its release phase",
+                   txn, key));
+  }
+  const bool held =
+      std::find(t->held.begin(), t->held.end(), key) != t->held.end();
+  if (upgrade != held) {
+    Violate("txn.lock.conservation", instance, -1,
+            Format("txn %" PRIu64 " %s key %" PRIu64 " it %s hold", txn,
+                   upgrade ? "upgraded" : "freshly acquired", key,
+                   held ? "already" : "does not"));
+    return;
+  }
+  // Upgrades change the mode of a lock already in the ledger; only fresh
+  // acquisitions enter the acquired/released conservation count (each held
+  // key releases exactly once no matter how many times it was upgraded).
+  if (!held) {
+    t->held.push_back(key);
+    ++txns_[static_cast<int32_t>(instance)].acquired;
+  }
+}
+
+void InvariantChecker::OnTxnLockRelease(TenantId instance, uint64_t txn,
+                                        uint64_t key) {
+  const LockGuard lock(*this);
+  ++checks_run_;
+  TxnState* t = FindTxn(instance, txn);
+  if (t == nullptr) {
+    Violate("txn.lock.phantom", instance, -1,
+            Format("lock release of key %" PRIu64 " by unknown txn %" PRIu64,
+                   key, txn));
+    return;
+  }
+  t->releasing = true;
+  auto it = std::find(t->held.begin(), t->held.end(), key);
+  if (it == t->held.end()) {
+    Violate("txn.lock.phantom", instance, -1,
+            Format("txn %" PRIu64 " released key %" PRIu64 " it does not hold",
+                   txn, key));
+    return;
+  }
+  t->held.erase(it);
+  ++txns_[static_cast<int32_t>(instance)].released;
+  if (t->terminal && t->held.empty()) txn_live_.erase(TxnKey(instance, txn));
+}
+
+void InvariantChecker::OnTxnWound(TenantId instance, uint64_t wounder,
+                                  uint64_t wounder_ts, uint64_t victim,
+                                  uint64_t victim_ts) {
+  const LockGuard lock(*this);
+  ++checks_run_;
+  // Wound-wait legality: only an older (smaller-ts) transaction may wound;
+  // a younger wounder would re-introduce the abort cycles the timestamp
+  // order exists to break.
+  if (wounder_ts >= victim_ts) {
+    Violate("txn.wound.order", instance, -1,
+            Format("txn %" PRIu64 " (ts=%" PRIu64 ") wounded txn %" PRIu64
+                   " (ts=%" PRIu64 ") but is not older",
+                   wounder, wounder_ts, victim, victim_ts));
+  }
+}
+
+void InvariantChecker::OnTxnCommit(TenantId instance, uint64_t txn,
+                                   uint64_t writes_acked,
+                                   uint64_t writes_total) {
+  const LockGuard lock(*this);
+  ++checks_run_;
+  TxnState* t = FindTxn(instance, txn);
+  if (t == nullptr) {
+    Violate("txn.lifecycle", instance, -1,
+            Format("commit of unknown txn %" PRIu64, txn));
+    return;
+  }
+  // "No committed transaction is ever lost": a commit may only be reported
+  // once every one of its writes was durably acked through the WAL path.
+  if (writes_acked != writes_total) {
+    Violate("txn.commit.lost", instance, -1,
+            Format("txn %" PRIu64 " committed with %" PRIu64 " of %" PRIu64
+                   " writes durably acked",
+                   txn, writes_acked, writes_total));
+  }
+  TxnLedger& l = txns_[static_cast<int32_t>(instance)];
+  ++l.committed;
+  --l.live;
+  // Commit fires before ReleaseAll (strict 2PL) — keep auditing the
+  // releases; the drain check catches any lock that never comes back.
+  t->terminal = true;
+  if (t->held.empty()) txn_live_.erase(TxnKey(instance, txn));
+}
+
+void InvariantChecker::OnTxnAbort(TenantId instance, uint64_t txn) {
+  const LockGuard lock(*this);
+  ++checks_run_;
+  TxnState* t = FindTxn(instance, txn);
+  if (t == nullptr) {
+    Violate("txn.lifecycle", instance, -1,
+            Format("abort of unknown txn %" PRIu64, txn));
+    return;
+  }
+  TxnLedger& l = txns_[static_cast<int32_t>(instance)];
+  ++l.aborted;
+  --l.live;
+  t->terminal = true;
+  if (t->held.empty()) txn_live_.erase(TxnKey(instance, txn));
+}
+
 // --- End-of-run ------------------------------------------------------------
 
 bool InvariantChecker::CheckDrained() {
@@ -605,6 +753,29 @@ bool InvariantChecker::CheckDrained() {
                      PRIu64 " + dropped=%" PRIu64
                      " after drain — replica count did not converge",
                      l.recorded, l.repaired, l.dropped));
+    }
+  }
+  for (const auto& [instance, l] : txns_) {
+    ++checks_run_;
+    if (l.acquired != l.released) {
+      Violate("drain.txn.locks", static_cast<TenantId>(instance), -1,
+              Format("locks acquired=%" PRIu64 " but released=%" PRIu64
+                     " after drain — lock table leaked",
+                     l.acquired, l.released));
+    }
+    if (l.live != 0 || l.committed + l.aborted != l.begun) {
+      Violate("drain.txn.locks", static_cast<TenantId>(instance), -1,
+              Format("begun=%" PRIu64 " committed=%" PRIu64 " aborted=%"
+                     PRIu64 " live=%" PRIu64 " after drain",
+                     l.begun, l.committed, l.aborted, l.live));
+    }
+  }
+  for (const auto& [key, t] : txn_live_) {
+    ++checks_run_;
+    if (!t.held.empty()) {
+      Violate("drain.txn.locks", static_cast<TenantId>(key >> 48), -1,
+              Format("txn %" PRIu64 " still holds %zu locks after drain",
+                     key & ((1ull << 48) - 1), t.held.size()));
     }
   }
   return violations_.size() == before;

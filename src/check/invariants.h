@@ -174,6 +174,31 @@ class InvariantChecker {
   // flushed WAL or compacted table — so re-replication became moot).
   void OnKvDirtyDrop(TenantId instance, int ssd, uint64_t bytes);
 
+  // --- Transactions (kv/txn.h, docs/TESTING.md) ----------------------------
+  // Independent audit of the 2PL lock manager and coordinator. The checker
+  // keeps its own per-transaction held-lock multiset and per-instance
+  // ledger, so a lock leak or phantom release in the lock manager is caught
+  // against state the lock manager cannot corrupt.
+  // A transaction registered with its conflict timestamp.
+  void OnTxnBegin(TenantId instance, uint64_t txn, uint64_t ts);
+  // A lock was granted (`upgrade`: an S holder was promoted to X). Strict
+  // two-phase discipline: acquiring after the transaction entered its
+  // release phase is a violation.
+  void OnTxnLockAcquire(TenantId instance, uint64_t txn, uint64_t key,
+                        bool exclusive, bool upgrade);
+  // A held lock was released. Releasing a key the transaction does not
+  // hold is the phantom-unlock violation.
+  void OnTxnLockRelease(TenantId instance, uint64_t txn, uint64_t key);
+  // WOUND_WAIT wounded `victim`: legal only when the wounder is older.
+  void OnTxnWound(TenantId instance, uint64_t wounder, uint64_t wounder_ts,
+                  uint64_t victim, uint64_t victim_ts);
+  // The transaction was reported committed with `writes_acked` of
+  // `writes_total` writes durably acked — any shortfall is a lost
+  // committed transaction ("txn.commit.lost").
+  void OnTxnCommit(TenantId instance, uint64_t txn, uint64_t writes_acked,
+                   uint64_t writes_total);
+  void OnTxnAbort(TenantId instance, uint64_t txn);
+
   // --- End-of-run ----------------------------------------------------------
   // Balance checks over every ledger; call only after a full drain.
   // Returns true when no new violation was recorded.
@@ -241,6 +266,24 @@ class InvariantChecker {
     uint64_t repaired_bytes = 0;
     uint64_t dropped_bytes = 0;
   };
+  // Live transaction-attempt state: the checker's own copy of the held-lock
+  // set, audited against every release. Erased at the terminal event (after
+  // verifying every lock came back), so steady state stays O(in-flight).
+  struct TxnState {
+    uint64_t ts = 0;
+    bool releasing = false;  // saw a release: acquires now violate 2PL
+    bool terminal = false;   // committed/aborted; erased once held empties
+    std::vector<uint64_t> held;
+  };
+  // Per-instance lifetime balance, audited at CheckDrained().
+  struct TxnLedger {
+    uint64_t begun = 0;
+    uint64_t committed = 0;
+    uint64_t aborted = 0;
+    uint64_t acquired = 0;
+    uint64_t released = 0;
+    uint64_t live = 0;  // begun minus terminal
+  };
 
   static uint64_t Key(TenantId tenant, int ssd) {
     return (static_cast<uint64_t>(tenant) << 16) ^
@@ -300,6 +343,14 @@ class InvariantChecker {
   common::IdIndexMap policy_index_;
   std::unordered_map<int, DrrState> drr_;
   std::unordered_map<uint64_t, KvLedger> kv_;  // Key(instance, backend)
+  // Txn ids are globally unique per coordinator attempt; instances are low
+  // cardinality. Keyed (instance, txn) and instance respectively.
+  std::unordered_map<uint64_t, TxnState> txn_live_;  // Key(instance, txn&..)
+  std::unordered_map<int32_t, TxnLedger> txns_;
+  TxnState* FindTxn(TenantId instance, uint64_t txn);
+  static uint64_t TxnKey(TenantId instance, uint64_t txn) {
+    return (static_cast<uint64_t>(instance) << 48) ^ txn;
+  }
 };
 
 }  // namespace gimbal::check

@@ -73,6 +73,8 @@ enum class Mutation {
   kBucketOverrun,   // token bucket charges only half the consumed bytes
   kSlotOverrun,     // virtual-slot allotment off by one
   kHealthSkip,      // SSD health machine skips transition validation
+  kLockLeak,        // 2PL ReleaseAll forgets the last held lock
+  kPhantomUnlock,   // 2PL ReleaseAll reports one lock released twice
 };
 inline Mutation g_active = Mutation::kNone;
 }  // namespace gimbal::mut

@@ -185,6 +185,25 @@ inline constexpr MetricDef kKvRecoveries{
     "kv.recoveries", "events",
     "DB instances recovered from a simulated crash by WAL replay",
     "kv/db.cc:Recover"};
+inline constexpr MetricDef kTxnCommits{
+    "txn.commits", "txns",
+    "transactions committed (every write durably acked through the WAL "
+    "group-commit path before the commit was reported)",
+    "kv/txn.cc:FinishCommit"};
+inline constexpr MetricDef kTxnAborts{
+    "txn.aborts", "attempts",
+    "transaction attempts aborted by the 2PL conflict policy (NO_WAIT "
+    "conflicts, WAIT_DIE dies, WOUND_WAIT wounds) or a faulted read",
+    "kv/txn.cc:AbortAttempt"};
+inline constexpr MetricDef kTxnWounds{
+    "txn.wounds", "txns",
+    "younger lock holders wounded by an older requester (WOUND_WAIT only)",
+    "kv/txn.cc:Acquire"};
+inline constexpr MetricDef kTxnRetries{
+    "txn.retries", "attempts",
+    "aborted attempts re-executed after the initiator-style capped backoff "
+    "(the transaction keeps its original timestamp)",
+    "kv/txn.cc:AbortAttempt"};
 
 // ---------------------------------------------------------------------------
 // Gauges
@@ -264,6 +283,11 @@ inline constexpr MetricDef kKvDirtyReplicas{
     "kv.dirty_replicas", "blobs",
     "dirty-replica ledger depth (blobs awaiting re-replication)",
     "kv/blobstore.cc:RecordDirty/rebuild.cc"};
+inline constexpr MetricDef kTxnWaitQueueDepth{
+    "txn.wait_queue_depth", "txns",
+    "transactions currently parked in lock wait queues (WAIT_DIE / "
+    "WOUND_WAIT; NO_WAIT keeps this at 0)",
+    "kv/txn.cc:UpdateWaitGauge"};
 
 // ---------------------------------------------------------------------------
 // Histograms (log-bucketed; JSON/CSV report count/min/mean/p50/p95/p99/max)
@@ -311,5 +335,9 @@ inline constexpr const char* kEvKvDegradedWrite = "kv.degraded_write";
 inline constexpr const char* kEvKvRebuild = "kv.rebuild";
 inline constexpr const char* kEvKvWalRetry = "kv.wal_retry";
 inline constexpr const char* kEvKvRecover = "kv.recover";
+inline constexpr const char* kEvTxnCommit = "txn.commit";
+inline constexpr const char* kEvTxnAbort = "txn.abort";
+inline constexpr const char* kEvTxnWound = "txn.wound";
+inline constexpr const char* kEvTxnWait = "txn.wait";
 
 }  // namespace gimbal::obs::schema

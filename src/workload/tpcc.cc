@@ -1,0 +1,74 @@
+#include "workload/tpcc.h"
+
+namespace gimbal::workload {
+
+const char* ToString(TpccTxnType t) {
+  switch (t) {
+    case TpccTxnType::kNewOrder:
+      return "new_order";
+    case TpccTxnType::kPayment:
+      return "payment";
+  }
+  return "?";
+}
+
+TpccGenerator::TpccGenerator(TpccSpec spec)
+    : spec_(spec), rng_(spec.seed * 0x9E3779B97F4A7C15ull + 0x243F6A8885A308D3ull) {
+  if (spec_.warehouses == 0) spec_.warehouses = 1;
+  if (spec_.warehouses > 1) {
+    wh_zipf_ = std::make_unique<ZipfianGenerator>(spec_.warehouses,
+                                                  spec_.warehouse_theta);
+  }
+}
+
+uint64_t TpccGenerator::PickWarehouse() {
+  if (!wh_zipf_) return 0;
+  return wh_zipf_->Next(rng_);
+}
+
+TpccTxn TpccGenerator::Next() {
+  TpccTxn txn;
+  txn.warehouse = PickWarehouse();
+  const uint64_t w = txn.warehouse;
+  const uint64_t d = rng_.NextBounded(spec_.districts_per_warehouse);
+  const uint64_t c = rng_.NextBounded(spec_.customers_per_district);
+  // Districts/customers index within their warehouse: row = d or d * C + c.
+  const uint64_t drow = d;
+  const uint64_t crow = d * spec_.customers_per_district + c;
+
+  if (rng_.NextBool(spec_.new_order_ratio)) {
+    txn.type = TpccTxnType::kNewOrder;
+    txn.ops.push_back({TpccKey(TpccTable::kWarehouse, w, 0), false});
+    // District next-order counter: the hot S->X upgrade.
+    txn.ops.push_back({TpccKey(TpccTable::kDistrict, w, drow), false});
+    txn.ops.push_back({TpccKey(TpccTable::kDistrict, w, drow), true});
+    txn.ops.push_back({TpccKey(TpccTable::kCustomer, w, crow), false});
+    const uint64_t lines = 1 + rng_.NextBounded(spec_.max_order_lines);
+    for (uint64_t l = 0; l < lines; ++l) {
+      const uint64_t item = rng_.NextBounded(spec_.items);
+      uint64_t stock_w = w;
+      if (spec_.warehouses > 1 && rng_.NextBool(spec_.remote_item_prob)) {
+        stock_w = rng_.NextBounded(spec_.warehouses);
+      }
+      txn.ops.push_back({TpccKey(TpccTable::kItem, 0, item), false});
+      txn.ops.push_back({TpccKey(TpccTable::kStock, stock_w, item), false});
+      txn.ops.push_back({TpccKey(TpccTable::kStock, stock_w, item), true});
+    }
+    txn.ops.push_back(
+        {TpccKey(TpccTable::kOrder, w, next_order_row_++), true});
+  } else {
+    txn.type = TpccTxnType::kPayment;
+    // Warehouse ytd: the hottest exclusive lock in the mix.
+    txn.ops.push_back({TpccKey(TpccTable::kWarehouse, w, 0), false});
+    txn.ops.push_back({TpccKey(TpccTable::kWarehouse, w, 0), true});
+    txn.ops.push_back({TpccKey(TpccTable::kDistrict, w, drow), false});
+    txn.ops.push_back({TpccKey(TpccTable::kDistrict, w, drow), true});
+    txn.ops.push_back({TpccKey(TpccTable::kCustomer, w, crow), false});
+    txn.ops.push_back({TpccKey(TpccTable::kCustomer, w, crow), true});
+    txn.ops.push_back(
+        {TpccKey(TpccTable::kHistory, w, next_order_row_++), true});
+  }
+  return txn;
+}
+
+}  // namespace gimbal::workload

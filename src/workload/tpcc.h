@@ -1,0 +1,102 @@
+// TPC-C-lite: NewOrder/Payment-style multi-key transaction mixes over the
+// KV store's flat keyspace, following the SmartOffloading / DBx1000 recipe
+// of running TPC-C's contention structure (per-warehouse hot rows, skewed
+// warehouse choice, read-modify-write order counters) without the full
+// schema. Each generated transaction is an ordered list of key operations
+// the transactional client (kv/txn.h: TxnClient) stages through the
+// TxnCoordinator under 2PL.
+//
+// Keys pack (table, warehouse, row) into the KV store's uint64 keyspace so
+// transactions on different warehouses are disjoint except for the shared
+// ITEM table, and contention is dialled with two knobs: `warehouses` (fewer
+// = hotter) and `warehouse_theta` (Zipf skew of the warehouse pick).
+//
+// Contention anatomy per transaction type:
+//   * NewOrder: reads WAREHOUSE and CUSTOMER, read-modify-writes the
+//     DISTRICT next-order counter (the classic hot upgrade lock), reads
+//     ITEM and read-modify-writes STOCK per order line, inserts one ORDER
+//     row (unique key, conflict-free).
+//   * Payment: read-modify-writes WAREHOUSE ytd (the hottest lock in
+//     TPC-C), read-modify-writes DISTRICT and CUSTOMER, inserts one
+//     HISTORY row.
+// Read-modify-writes are emitted as a read op followed by a write op on
+// the same key, exercising the lock manager's S->X upgrade path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gimbal::workload {
+
+enum class TpccTxnType { kNewOrder, kPayment };
+const char* ToString(TpccTxnType t);
+
+// Table tags packed into key bits 56..63.
+enum class TpccTable : uint64_t {
+  kWarehouse = 1,
+  kDistrict = 2,
+  kCustomer = 3,
+  kItem = 4,
+  kStock = 5,
+  kOrder = 6,
+  kHistory = 7,
+};
+
+// (table, warehouse, row) -> flat KV key. ITEM rows pass warehouse 0 (the
+// table is shared across warehouses, as in TPC-C).
+inline uint64_t TpccKey(TpccTable table, uint64_t warehouse, uint64_t row) {
+  return (static_cast<uint64_t>(table) << 56) | (warehouse << 40) |
+         (row & ((1ull << 40) - 1));
+}
+
+struct TpccSpec {
+  uint64_t warehouses = 4;
+  uint64_t districts_per_warehouse = 10;
+  uint64_t customers_per_district = 64;
+  uint64_t items = 1024;
+  uint64_t max_order_lines = 8;    // NewOrder picks uniform in [1, max]
+  double warehouse_theta = 0.4;    // Zipf skew of the warehouse choice
+  double new_order_ratio = 0.55;   // remainder is Payment
+  // With probability `remote_item_prob` an order line's STOCK row lives in
+  // a different (uniform) warehouse — TPC-C's 1% remote stock, the source
+  // of cross-warehouse deadlock potential in real 2PL.
+  double remote_item_prob = 0.05;
+  uint32_t value_bytes = 256;
+  uint64_t seed = 1;
+};
+
+// One key operation of a generated transaction, in execution order. A
+// `write` op whose key was read earlier in the same transaction is an
+// S->X upgrade under 2PL.
+struct TpccOp {
+  uint64_t key = 0;
+  bool write = false;
+};
+
+struct TpccTxn {
+  TpccTxnType type = TpccTxnType::kNewOrder;
+  uint64_t warehouse = 0;  // home warehouse (diagnostics / tests)
+  std::vector<TpccOp> ops;
+};
+
+class TpccGenerator {
+ public:
+  explicit TpccGenerator(TpccSpec spec);
+
+  TpccTxn Next();
+
+  const TpccSpec& spec() const { return spec_; }
+
+ private:
+  uint64_t PickWarehouse();
+
+  TpccSpec spec_;
+  Rng rng_;
+  std::unique_ptr<ZipfianGenerator> wh_zipf_;  // null when warehouses == 1
+  uint64_t next_order_row_ = 0;    // unique ORDER/HISTORY row source
+};
+
+}  // namespace gimbal::workload

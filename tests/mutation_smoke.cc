@@ -1,11 +1,11 @@
 // Mutation smoke test (docs/TESTING.md): proves the invariant checker
 // actually catches bugs, not just that clean runs stay quiet.
 //
-// Built with -DGIMBAL_MUTATIONS=1, which compiles five seeded off-by-one
-// bugs into the scheduler/flow-control hot paths behind a runtime selector
-// (core/params.h). Each invocation activates one mutation, runs a small
-// testbed with a fail_fast=false checker attached, and exits 0 iff the
-// checker flagged the invariant family that mutation breaks:
+// Built with -DGIMBAL_MUTATIONS=1, which compiles seven seeded off-by-one
+// bugs into the scheduler/flow-control/locking hot paths behind a runtime
+// selector (core/params.h). Each invocation activates one mutation, runs a
+// small testbed with a fail_fast=false checker attached, and exits 0 iff
+// the checker flagged the invariant family that mutation breaks:
 //
 //   none           no mutation; the run must be violation-free and the
 //                  drain balance must close (guards against a checker that
@@ -15,8 +15,10 @@
 //   bucket_overrun consume charges bytes/2             -> bucket.*
 //   slot_overrun   TryOpenSlot allows allotted+1       -> slot.*
 //   health_skip    transition validation bypassed      -> health.*
+//   lock_leak      2PL ReleaseAll forgets a held lock  -> drain.txn.*
+//   phantom_unlock ReleaseAll reports a lock twice     -> txn.lock.phantom
 //
-// ctest runs all six (tests/CMakeLists.txt).
+// ctest runs all eight (tests/CMakeLists.txt).
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -25,6 +27,7 @@
 #include "core/drr_scheduler.h"
 #include "core/params.h"
 #include "core/write_cost.h"
+#include "kv/txn.h"
 #include "workload/fio.h"
 #include "workload/runner.h"
 
@@ -92,6 +95,31 @@ void RunHealthConflict(check::InvariantChecker* chk) {
   bed.sim().RunUntil(Milliseconds(40));
 }
 
+// Drive the 2PL lock manager directly through one two-key transaction and
+// then close the books: the (mutated) ReleaseAll forgets the last held
+// key, so the checker's acquired/released ledger cannot balance at drain.
+void RunLockLeak(check::InvariantChecker* chk) {
+  kv::LockManager lm(kv::TxnProtocol::kWaitDie);
+  lm.AttachObservability(nullptr, /*instance=*/0);
+  lm.AttachChecker(chk);
+  lm.Begin(1, 1, nullptr);
+  lm.Acquire(1, 100, kv::LockMode::kExclusive, nullptr);
+  lm.Acquire(1, 101, kv::LockMode::kExclusive, nullptr);
+  lm.ReleaseAll(1);
+  chk->CheckDrained();
+}
+
+// Single-key transaction whose (mutated) ReleaseAll reports the key
+// released twice — the second release is of a lock no longer held.
+void RunPhantomUnlock(check::InvariantChecker* chk) {
+  kv::LockManager lm(kv::TxnProtocol::kWaitDie);
+  lm.AttachObservability(nullptr, /*instance=*/0);
+  lm.AttachChecker(chk);
+  lm.Begin(1, 1, nullptr);
+  lm.Acquire(1, 100, kv::LockMode::kExclusive, nullptr);
+  lm.ReleaseAll(1);
+}
+
 struct Case {
   const char* name;
   mut::Mutation mutation;
@@ -106,6 +134,9 @@ const Case kCases[] = {
     {"bucket_overrun", mut::Mutation::kBucketOverrun, "bucket.", RunGimbalMix},
     {"slot_overrun", mut::Mutation::kSlotOverrun, "slot.", RunSlotPressure},
     {"health_skip", mut::Mutation::kHealthSkip, "health.", RunHealthConflict},
+    {"lock_leak", mut::Mutation::kLockLeak, "drain.txn.", RunLockLeak},
+    {"phantom_unlock", mut::Mutation::kPhantomUnlock, "txn.lock.phantom",
+     RunPhantomUnlock},
 };
 
 }  // namespace
