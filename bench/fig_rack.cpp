@@ -1,0 +1,369 @@
+// fig_rack: rack-scale multi-tenant storage disaggregation (extension).
+//
+// Three SmartNIC JBOF nodes (2 SSDs each) behind a shared ToR uplink host
+// three replicated KV instances under YCSB-A, run twice: a fault-free
+// control and a faulted run where node 1 — both its SSDs and every fabric
+// message to or from it — fails whole and recovers mid-run. Replica
+// placement is failure-domain aware (copies never share a node), reads
+// fail over across node boundaries, and re-replication rides the
+// background-priority path until every blob is node-disjoint again.
+//
+// The tables show rack-level per-tenant fairness and the read tail during
+// the outage; the self-checks certify the rack contract:
+//
+//   * kv.lost_writes == 0 — no acked write lost across the node failure,
+//   * the dirty ledger drained: every blob regained a node-disjoint
+//     replica set before the end of the drain,
+//   * the outage exercised cross-node failover and rebuild traffic,
+//   * uplink byte conservation: per-node shares sum to the uplink total,
+//   * the invariant checker (kv.placement.domain, rack.uplink.conservation
+//     among the rest) stayed silent on both runs.
+//
+// --bench-json=PATH writes the machine-readable summary (BENCH_rack.json
+// in CI: uplink utilization, failover tail latency, rebuild completion).
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "check/invariants.h"
+#include "kv/cluster.h"
+#include "obs/schema.h"
+
+using namespace gimbal;
+using namespace gimbal::bench;
+using kv::KvCluster;
+using kv::KvClusterConfig;
+using kv::YcsbClient;
+
+namespace {
+
+constexpr int kNodes = 3;
+constexpr int kSsdsPerNode = 2;
+constexpr int kSsds = kNodes * kSsdsPerNode;
+constexpr int kInstances = 3;
+constexpr int kWindows = 16;
+
+inline Tick Scaled(Tick t) { return Quick() ? t / 2 : t; }
+inline Tick Warmup() { return Scaled(Milliseconds(60)); }
+inline Tick Measure() { return Scaled(Milliseconds(400)); }
+inline uint64_t Records() { return Quick() ? 8'000 : 20'000; }
+// Node 1's whole-node outage, relative to measure start.
+inline Tick FailAt() { return Warmup() + Scaled(Milliseconds(80)); }
+inline Tick RecoverAt() { return Warmup() + Scaled(Milliseconds(200)); }
+
+struct RunResult {
+  double kiops = 0;
+  double inst_kiops[kInstances] = {};
+  double window_kiops[kWindows] = {};
+  double read_p99_us = 0;         // whole measurement window
+  double outage_read_p99_us = 0;  // windows overlapping the node outage
+  uint64_t failed_ops = 0;
+  uint64_t aborted_ops = 0;
+  uint64_t failover_reads = 0;
+  uint64_t degraded_writes = 0;
+  uint64_t dirty_recorded = 0;
+  uint64_t dirty_repaired = 0;
+  uint64_t dirty_dropped = 0;
+  uint64_t rebuild_bytes = 0;
+  uint64_t lost_writes = 0;  // must stay 0
+  size_t dirty_pending = 0;  // ledger entries left after the drain
+  double rebuild_done_ms = 0;
+  // Rack fabric accounting.
+  uint64_t uplink_bytes = 0;
+  uint64_t node_bytes[kNodes] = {};
+  uint64_t node_drops = 0;
+  double uplink_util = 0;  // busy time over wall time, both directions
+  bool checker_ok = false;
+  size_t checker_violations = 0;
+};
+
+RunResult RunScenario(bool faulted) {
+  check::InvariantChecker chk(/*fail_fast=*/false);
+  KvClusterConfig cfg;
+  cfg.testbed.scheme = Scheme::kGimbal;
+  cfg.testbed.num_ssds = kSsds;
+  cfg.testbed.nodes = kNodes;
+  cfg.testbed.target.cores = kSsdsPerNode;  // per node
+  cfg.testbed.condition = SsdCondition::kClean;
+  cfg.testbed.ssd.logical_bytes = 256ull << 20;
+  cfg.testbed.obs = CurrentObs();
+  cfg.testbed.queue_impl = g_queue;
+  cfg.testbed.threads = g_threads;
+  cfg.testbed.check = &chk;
+  cfg.testbed.run_label = faulted ? "faulted" : "control";
+  // Capsules to a dark node vanish at the fabric; the initiators' per-IO
+  // timeout is the only recovery path, so it must be armed.
+  cfg.testbed.retry.io_timeout = Milliseconds(2);
+  cfg.hba.backend_bytes = 256ull << 20;
+  cfg.db.memtable_bytes = 1ull << 20;
+  if (faulted) {
+    cfg.testbed.faults.node_failures.push_back({1, FailAt(), RecoverAt()});
+  }
+  KvCluster cluster(cfg);
+
+  std::vector<KvCluster::Instance*> insts;
+  std::vector<std::unique_ptr<YcsbClient>> clients;
+  for (int i = 0; i < kInstances; ++i) {
+    auto& inst = cluster.AddInstance();
+    insts.push_back(&inst);
+    inst.db->BulkLoad(Records(), 1024);
+    workload::YcsbSpec spec;
+    spec.workload = workload::YcsbWorkload::kA;
+    spec.record_count = Records();
+    spec.seed = static_cast<uint64_t>(i) + 1 + g_seed;
+    clients.push_back(std::make_unique<YcsbClient>(cluster.sim(), *inst.db,
+                                                   spec, /*concurrency=*/8));
+  }
+
+  RunResult r;
+  for (auto& c : clients) c->Start();
+  cluster.sim().RunUntil(Warmup());
+  for (auto& c : clients) c->stats().Reset();
+  if (auto* obs = CurrentObs()) obs->metrics.ResetRun(cfg.testbed.run_label);
+
+  uint64_t last_ops = 0;
+  bool was_dirty = false;
+  auto sample_ledger = [&] {
+    size_t pending = 0;
+    for (auto* inst : insts) pending += inst->blobs->dirty_count();
+    if (pending > 0) {
+      was_dirty = true;
+    } else if (was_dirty) {
+      was_dirty = false;
+      r.rebuild_done_ms = ToSec(cluster.sim().now() - Warmup()) * 1000.0;
+    }
+  };
+  // Snapshot the read tail inside the outage by diffing merged histograms
+  // at the window edges bracketing [FailAt, RecoverAt).
+  LatencyHistogram outage_reads;
+  bool outage_open = false;
+  const Tick win = Measure() / kWindows;
+  for (int w = 0; w < kWindows; ++w) {
+    const Tick start = cluster.sim().now();
+    const bool in_outage =
+        faulted && start + win > FailAt() && start < RecoverAt();
+    if (in_outage && !outage_open) {
+      outage_open = true;
+      for (auto& c : clients) outage_reads.Merge(c->stats().read_latency);
+    }
+    cluster.sim().RunUntil(start + win);
+    if (outage_open && !(faulted && cluster.sim().now() < RecoverAt())) {
+      // Outage windows closed: subtract the opening snapshot.
+      LatencyHistogram at_end;
+      for (auto& c : clients) at_end.Merge(c->stats().read_latency);
+      outage_reads = at_end.Subtract(outage_reads);
+      r.outage_read_p99_us = outage_reads.Percentile(0.99) / 1000.0;
+      outage_open = false;
+    }
+    uint64_t ops = 0;
+    for (auto& c : clients) ops += c->stats().ops;
+    r.window_kiops[w] =
+        static_cast<double>(ops - last_ops) / ToSec(win) / 1000.0;
+    last_ops = ops;
+    sample_ledger();
+  }
+
+  for (auto& c : clients) c->Stop();
+  const Tick drain_end = cluster.sim().now() + Scaled(Milliseconds(300));
+  while (cluster.sim().now() < drain_end) {
+    cluster.sim().RunUntil(cluster.sim().now() + Scaled(Milliseconds(5)));
+    sample_ledger();
+  }
+  for (auto& ini : cluster.bed().initiators()) {
+    if (!ini->shutdown()) ini->Shutdown();
+  }
+  cluster.sim().Run();
+  cluster.bed().FlushObservability();
+
+  uint64_t ops = 0;
+  LatencyHistogram reads;
+  for (int i = 0; i < kInstances; ++i) {
+    const auto& cs = clients[static_cast<size_t>(i)]->stats();
+    ops += cs.ops;
+    reads.Merge(cs.read_latency);
+    r.inst_kiops[i] = static_cast<double>(cs.ops) / ToSec(Measure()) / 1000.0;
+    r.failed_ops += cs.failed;
+    r.aborted_ops += cs.aborted;
+    const auto& bs = insts[static_cast<size_t>(i)]->blobs->stats();
+    r.failover_reads += bs.failover_reads;
+    r.degraded_writes += bs.degraded_writes;
+    r.dirty_recorded += bs.dirty_recorded;
+    r.dirty_repaired += bs.dirty_repaired;
+    r.dirty_dropped += bs.dirty_dropped;
+    r.rebuild_bytes += bs.rebuild_bytes;
+    r.dirty_pending += insts[static_cast<size_t>(i)]->blobs->dirty_count();
+    if (auto* obs = CurrentObs()) {
+      const obs::Labels l = obs::Labels::TenantSsd(i, -1);
+      r.lost_writes +=
+          obs->metrics.GetCounter(obs::schema::kKvLostWrites, l).value();
+    }
+  }
+  r.kiops = static_cast<double>(ops) / ToSec(Measure()) / 1000.0;
+  r.read_p99_us = reads.Percentile(0.99) / 1000.0;
+
+  fabric::Network& net = cluster.bed().net();
+  r.uplink_bytes = net.uplink_bytes();
+  for (int n = 0; n < kNodes; ++n) r.node_bytes[n] = net.node_uplink_bytes(n);
+  r.node_drops = net.node_drops();
+  // Full-duplex uplink: the busy accumulator covers both directions, so
+  // 2x the elapsed time is the saturation denominator.
+  r.uplink_util =
+      ToSec(net.uplink_busy_time()) / (2.0 * ToSec(cluster.sim().now()));
+
+  chk.CheckDrained();
+  r.checker_ok = chk.ok();
+  r.checker_violations = chk.violations().size();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Peel --bench-json=PATH off before ObsSession sees (and warns about) it.
+  std::string bench_json;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const char* prefix = "--bench-json=";
+    if (i > 0 && std::strncmp(argv[i], prefix, std::strlen(prefix)) == 0) {
+      bench_json = argv[i] + std::strlen(prefix);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  ObsSession obs_session(static_cast<int>(args.size()), args.data());
+  workload::PrintHeader(
+      "fig_rack - rack-scale disaggregation (3 nodes x 2 SSDs, shared ToR)",
+      "rack-topology extension (docs/SIMULATOR.md); not a paper figure",
+      "per-tenant fairness holds rack-wide; a whole-node failure degrades "
+      "but never loses acked writes; every blob regains node-disjoint "
+      "replicas before the drain ends");
+
+  const RunResult control = RunScenario(/*faulted=*/false);
+  const RunResult faulted = RunScenario(/*faulted=*/true);
+
+  Table summary("YCSB-A aggregate (control vs node-1 outage)");
+  summary.Columns({"run", "kiops", "read_p99_us", "outage_p99_us",
+                   "failed_ops", "aborted_ops"});
+  summary.Row({"control", Table::Num(control.kiops),
+               Table::Num(control.read_p99_us), "-",
+               Table::Num(double(control.failed_ops), 0),
+               Table::Num(double(control.aborted_ops), 0)});
+  summary.Row({"faulted", Table::Num(faulted.kiops),
+               Table::Num(faulted.read_p99_us),
+               Table::Num(faulted.outage_read_p99_us),
+               Table::Num(double(faulted.failed_ops), 0),
+               Table::Num(double(faulted.aborted_ops), 0)});
+  summary.Print();
+
+  Table fair("Rack-level per-tenant fairness (KIOPS; share of aggregate)");
+  fair.Columns({"tenant", "control", "ctl_share", "faulted", "flt_share"});
+  for (int i = 0; i < kInstances; ++i) {
+    fair.Row({std::to_string(i), Table::Num(control.inst_kiops[i]),
+              Table::Num(control.kiops > 0
+                             ? control.inst_kiops[i] / control.kiops
+                             : 0,
+                         3),
+              Table::Num(faulted.inst_kiops[i]),
+              Table::Num(faulted.kiops > 0
+                             ? faulted.inst_kiops[i] / faulted.kiops
+                             : 0,
+                         3)});
+  }
+  fair.Print();
+
+  Table tl("Throughput timeline (KIOPS per window; node 1 dark mid-run)");
+  tl.Columns({"window", "t_ms", "control", "faulted"});
+  const double win_ms = ToSec(Measure() / kWindows) * 1000.0;
+  for (int w = 0; w < kWindows; ++w) {
+    tl.Row({std::to_string(w), Table::Num(win_ms * (w + 1), 1),
+            Table::Num(control.window_kiops[w]),
+            Table::Num(faulted.window_kiops[w])});
+  }
+  tl.Print();
+
+  Table rk("Rack fabric (faulted run)");
+  rk.Columns({"metric", "value"});
+  rk.Row({"uplink_mib", Table::Num(BytesToMiB(faulted.uplink_bytes))});
+  rk.Row({"uplink_util", Table::Num(faulted.uplink_util, 4)});
+  for (int n = 0; n < kNodes; ++n) {
+    rk.Row({std::string("node") + std::to_string(n) + "_mib",
+            Table::Num(BytesToMiB(faulted.node_bytes[n]))});
+  }
+  rk.Row({"node_drops", Table::Num(double(faulted.node_drops), 0)});
+  rk.Row({"failover_reads", Table::Num(double(faulted.failover_reads), 0)});
+  rk.Row({"degraded_writes", Table::Num(double(faulted.degraded_writes), 0)});
+  rk.Row({"rebuild_mib", Table::Num(BytesToMiB(faulted.rebuild_bytes))});
+  rk.Row({"rebuild_done_ms", Table::Num(faulted.rebuild_done_ms, 1)});
+  rk.Print();
+
+  auto conserved = [](const RunResult& r) {
+    uint64_t sum = 0;
+    for (uint64_t b : r.node_bytes) sum += b;
+    return sum == r.uplink_bytes;
+  };
+  struct Check {
+    const char* name;
+    bool pass;
+  } checks[] = {
+      {"no acked write lost (kv.lost_writes == 0, both runs)",
+       control.lost_writes == 0 && faulted.lost_writes == 0},
+      {"every blob regained node-disjoint replicas (ledger drained)",
+       faulted.dirty_pending == 0 &&
+           faulted.dirty_repaired + faulted.dirty_dropped ==
+               faulted.dirty_recorded},
+      {"node outage exercised degraded writes and rebuild traffic",
+       faulted.degraded_writes > 0 && faulted.dirty_recorded > 0 &&
+           faulted.rebuild_bytes > 0},
+      {"reads failed over across node boundaries",
+       faulted.failover_reads > 0},
+      {"fabric blacked the dark node out (node_drops > 0 only when faulted)",
+       faulted.node_drops > 0 && control.node_drops == 0},
+      {"uplink byte conservation (per-node shares sum to the total)",
+       conserved(control) && conserved(faulted)},
+      {"invariant checker silent (faulted run)",
+       faulted.checker_ok && faulted.checker_violations == 0},
+      {"invariant checker silent (control run)",
+       control.checker_ok && control.checker_violations == 0},
+      {"control run saw no fault handling",
+       control.failover_reads == 0 && control.degraded_writes == 0 &&
+           control.dirty_recorded == 0 && control.failed_ops == 0 &&
+           control.aborted_ops == 0},
+  };
+  bool all = true;
+  std::printf("\n");
+  for (const Check& c : checks) {
+    all = all && c.pass;
+    std::printf("%-60s %s\n", c.name, c.pass ? "PASS" : "FAIL");
+  }
+
+  if (!bench_json.empty()) {
+    std::FILE* f = std::fopen(bench_json.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: could not write %s\n", bench_json.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"fig_rack\",\n");
+    std::fprintf(f, "  \"mode\": \"%s\",\n", Quick() ? "quick" : "full");
+    std::fprintf(f, "  \"nodes\": %d,\n  \"ssds_per_node\": %d,\n", kNodes,
+                 kSsdsPerNode);
+    std::fprintf(f, "  \"control_kiops\": %.1f,\n", control.kiops);
+    std::fprintf(f, "  \"faulted_kiops\": %.1f,\n", faulted.kiops);
+    std::fprintf(f, "  \"uplink_utilization\": %.4f,\n", faulted.uplink_util);
+    std::fprintf(f, "  \"uplink_mib\": %.1f,\n",
+                 BytesToMiB(faulted.uplink_bytes));
+    std::fprintf(f, "  \"node_drops\": %llu,\n",
+                 static_cast<unsigned long long>(faulted.node_drops));
+    std::fprintf(f, "  \"failover_read_p99_us\": %.1f,\n",
+                 faulted.outage_read_p99_us);
+    std::fprintf(f, "  \"steady_read_p99_us\": %.1f,\n", control.read_p99_us);
+    std::fprintf(f, "  \"rebuild_completion_ms\": %.1f,\n",
+                 faulted.rebuild_done_ms);
+    std::fprintf(f, "  \"rebuild_mib\": %.1f,\n",
+                 BytesToMiB(faulted.rebuild_bytes));
+    std::fprintf(f, "  \"self_checks_pass\": %s\n}\n", all ? "true" : "false");
+    std::fclose(f);
+  }
+  return all ? 0 : 1;
+}

@@ -557,6 +557,35 @@ void InvariantChecker::OnKvDirtyDrop(TenantId instance, int ssd,
   }
 }
 
+// --- Rack topology ----------------------------------------------------------
+
+void InvariantChecker::OnKvReplicaPlacement(TenantId instance, int primary,
+                                            int shadow, int primary_node,
+                                            int shadow_node) {
+  const LockGuard lock(*this);
+  ++checks_run_;
+  if (primary_node == shadow_node) {
+    Violate("kv.placement.domain", instance, primary,
+            Format("replicas share failure domain: primary backend %d and "
+                   "shadow backend %d both on node %d",
+                   primary, shadow, primary_node));
+  }
+}
+
+void InvariantChecker::OnRackUplink(int node, uint64_t bytes,
+                                    uint64_t node_total_sum,
+                                    uint64_t uplink_total) {
+  const LockGuard lock(*this);
+  ++checks_run_;
+  if (node_total_sum != uplink_total) {
+    Violate("rack.uplink.conservation", kNoTenant, node,
+            Format("per-node uplink bytes sum to %" PRIu64
+                   " but the uplink carried %" PRIu64 " (last: %" PRIu64
+                   " bytes for node %d)",
+                   node_total_sum, uplink_total, bytes, node));
+  }
+}
+
 // --- Transactions ----------------------------------------------------------
 
 InvariantChecker::TxnState* InvariantChecker::FindTxn(TenantId instance,

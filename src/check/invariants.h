@@ -174,6 +174,20 @@ class InvariantChecker {
   // flushed WAL or compacted table — so re-replication became moot).
   void OnKvDirtyDrop(TenantId instance, int ssd, uint64_t bytes);
 
+  // --- Rack topology (docs/SIMULATOR.md) -----------------------------------
+  // A replicated write placed its copies on `primary`/`shadow` backends
+  // living on `primary_node`/`shadow_node`. Node-disjointness is the rack
+  // durability story: two replicas in one failure domain means a single
+  // node failure loses acked data ("kv.placement.domain").
+  void OnKvReplicaPlacement(TenantId instance, int primary, int shadow,
+                            int primary_node, int shadow_node);
+  // `bytes` just crossed the shared ToR uplink attributed to `node`;
+  // `node_total_sum` is the per-node accounting total and `uplink_total`
+  // the uplink-wide byte counter. Every byte must be attributed to exactly
+  // one node ("rack.uplink.conservation").
+  void OnRackUplink(int node, uint64_t bytes, uint64_t node_total_sum,
+                    uint64_t uplink_total);
+
   // --- Transactions (kv/txn.h, docs/TESTING.md) ----------------------------
   // Independent audit of the 2PL lock manager and coordinator. The checker
   // keeps its own per-transaction held-lock multiset and per-instance

@@ -39,6 +39,31 @@ class LatencyHistogram {
 
   void Reset() { *this = LatencyHistogram{}; }
 
+  // Bucket-wise difference against an earlier snapshot of this histogram
+  // (every snapshot bucket count <= the corresponding one here — i.e. a
+  // copy taken before a window of interest on a monotonically-recording
+  // histogram). Isolates the samples recorded since the snapshot, e.g. the
+  // read tail inside a fault window. min/max degrade to bucket resolution:
+  // the removed samples' exact extremes are unrecoverable.
+  LatencyHistogram Subtract(const LatencyHistogram& snapshot) const {
+    LatencyHistogram out;
+    int lo = -1, hi = -1;
+    for (int i = 0; i < kBuckets; ++i) {
+      out.counts_[i] = counts_[i] - snapshot.counts_[i];
+      out.total_ += out.counts_[i];
+      if (out.counts_[i] > 0) {
+        if (lo < 0) lo = i;
+        hi = i;
+      }
+    }
+    out.sum_ = sum_ - snapshot.sum_;
+    if (out.total_ > 0) {
+      out.min_ = lo > 0 ? BucketUpperBound(lo - 1) + 1 : 0;
+      out.max_ = BucketUpperBound(hi);
+    }
+    return out;
+  }
+
   // Value at quantile q, clamped into [0,1]. Returns an upper bound of the
   // bucket that contains the q-th sample (standard HDR semantics). An empty
   // histogram has every quantile defined as 0, matching the zero-count

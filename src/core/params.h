@@ -75,6 +75,8 @@ enum class Mutation {
   kHealthSkip,      // SSD health machine skips transition validation
   kLockLeak,        // 2PL ReleaseAll forgets the last held lock
   kPhantomUnlock,   // 2PL ReleaseAll reports one lock released twice
+  kPlacementCollapse,  // HBA excludes only the exact backend, not its node
+  kUplinkLeak,      // ToR uplink accounting drops node 0's bytes
 };
 inline Mutation g_active = Mutation::kNone;
 }  // namespace gimbal::mut

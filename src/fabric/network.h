@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -32,6 +33,10 @@
 #include "sim/resource.h"
 #include "sim/shard.h"
 #include "sim/simulator.h"
+
+namespace gimbal::check {
+class InvariantChecker;
+}  // namespace gimbal::check
 
 namespace gimbal::fabric {
 
@@ -73,6 +78,11 @@ class Network {
       }
       fault_delay = lf.extra_delay;
     }
+    if (rack()) {
+      SendRackPlain(dir, node_of(ssd), bytes,
+                    config_.base_latency + fault_delay, std::move(deliver));
+      return;
+    }
     sim::FifoResource& link =
         dir == Direction::kClientToTarget ? c2t_ : t2c_;
     bytes_sent_ += bytes;
@@ -109,14 +119,50 @@ class Network {
   // Route every message through `faults` (null detaches).
   void set_fault_injector(fault::FaultInjector* faults) { faults_ = faults; }
 
+  // --- Rack topology (docs/SIMULATOR.md) -----------------------------------
+  // Place the pipelines on `num_nodes` target nodes behind a shared ToR
+  // uplink: `node_of[ssd]` is the node pipeline `ssd` lives on. A message
+  // serializes on the shared uplink and then on the destination node's
+  // access link (access link first, uplink second target-to-client), then
+  // the base latency elapses. Call before any Send; composes with
+  // ConfigureSharded in either order.
+  void ConfigureRack(std::vector<int> node_of, int num_nodes,
+                     double uplink_bps);
+  bool rack() const { return num_nodes_ > 0; }
+  int nodes() const { return num_nodes_; }
+  int node_of(int ssd) const {
+    return rack() ? node_of_[static_cast<size_t>(ssd)] : 0;
+  }
+
+  // Register a node outage window [fail_at, recover_at) (recover_at 0 =
+  // never recovers): every message to or from the node whose *send time*
+  // falls inside the window is dropped. Down-ness is a pure function of
+  // (node, send time), so sharded replay on the control thread makes the
+  // same drop decisions at any worker-thread count.
+  void AddNodeOutage(int node, Tick fail_at, Tick recover_at);
+  bool NodeDown(int node, Tick when) const;
+
+  // Fires the rack.uplink.conservation check on every uplink crossing.
+  void AttachChecker(check::InvariantChecker* chk) { chk_ = chk; }
+
   const NetworkConfig& config() const { return config_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
   uint64_t messages_dropped() const { return messages_dropped_; }
+  double uplink_bps() const { return uplink_bps_; }
+  uint64_t uplink_bytes() const { return uplink_bytes_total_; }
+  uint64_t node_uplink_bytes(int node) const {
+    return node_uplink_bytes_[static_cast<size_t>(node)];
+  }
+  // Messages dropped because a node was down (separate from link flaps).
+  uint64_t node_drops() const { return node_drops_; }
+  // Total uplink serialization time ever scheduled (utilization numerator).
+  Tick uplink_busy_time() const { return uplink_busy_accum_; }
 
  private:
   struct PendingSend {
     Tick when = 0;
     Direction dir = Direction::kClientToTarget;
+    int node = 0;
     uint64_t bytes = 0;
     sim::Simulator* dest = nullptr;
     sim::EventFn deliver;
@@ -124,6 +170,11 @@ class Network {
 
   void BufferSend(Direction dir, int ssd, uint64_t bytes,
                   sim::EventFn deliver);
+  // Plain-mode rack path: chain uplink and node access link FifoResources.
+  void SendRackPlain(Direction dir, int node, uint64_t bytes, Tick extra,
+                     sim::EventFn deliver);
+  // Per-node uplink byte accounting + the conservation check.
+  void AccountUplink(int node, uint64_t bytes);
 
   sim::Simulator& sim_;
   NetworkConfig config_;
@@ -141,6 +192,32 @@ class Network {
   std::vector<sim::Simulator*> ssd_sims_;  // empty = plain mode
   std::vector<std::vector<PendingSend>> outbox_;
   Tick busy_until_[2] = {0, 0};
+
+  // Rack mode state (num_nodes_ == 0 = flat single-node fabric). Indexed
+  // [direction][...] with 0 = client-to-target, 1 = target-to-client.
+  std::vector<int> node_of_;  // pipeline -> node
+  int num_nodes_ = 0;
+  double uplink_bps_ = 0;
+  struct Outage {
+    int node;
+    Tick fail_at;
+    Tick recover_at;  // 0 = never
+  };
+  std::vector<Outage> outages_;
+  // Plain-mode resources: one shared uplink + one access link per node,
+  // per direction.
+  std::unique_ptr<sim::FifoResource> uplink_res_[2];
+  std::vector<std::unique_ptr<sim::FifoResource>> node_res_[2];
+  // Sharded-mode serialization frontiers (replay equivalents of the above;
+  // persist across epoch barriers like busy_until_).
+  Tick uplink_busy_[2] = {0, 0};
+  std::vector<Tick> node_busy_[2];
+  // Uplink accounting (rack.uplink.* metrics + conservation invariant).
+  uint64_t uplink_bytes_total_ = 0;
+  std::vector<uint64_t> node_uplink_bytes_;
+  uint64_t node_drops_ = 0;
+  Tick uplink_busy_accum_ = 0;
+  check::InvariantChecker* chk_ = nullptr;
 };
 
 }  // namespace gimbal::fabric

@@ -43,7 +43,9 @@ int Target::AddPipeline(std::unique_ptr<core::IoPolicy> policy,
       [this, raw](const IoRequest& req, const IoCompletion& cpl) {
         FinishCompletion(*raw, req, cpl);
       });
-  const int id = static_cast<int>(pipelines_.size());
+  // Global pipeline id: this target's base plus the local slot, so fabric
+  // routing and the `ssd` metric label stay rack-wide unique.
+  const int id = base_ + static_cast<int>(pipelines_.size());
   p->id = id;
   p->policy->AttachObservability(ObsOf(*p), id);
   p->policy->AttachChecker(chk_, id);
@@ -53,9 +55,9 @@ int Target::AddPipeline(std::unique_ptr<core::IoPolicy> policy,
 
 void Target::AttachObservability(obs::Observability* obs) {
   obs_ = obs;
-  for (int i = 0; i < static_cast<int>(pipelines_.size()); ++i) {
+  for (size_t i = 0; i < pipelines_.size(); ++i) {
     Pipeline& p = *pipelines_[i];
-    p.policy->AttachObservability(ObsOf(p), i);
+    p.policy->AttachObservability(ObsOf(p), p.id);
     // Drop cached admit counter handles; they re-resolve against the new
     // registry (or run label) on the next capsule.
     for (uint32_t slot : p.sessions.live()) {
@@ -67,8 +69,8 @@ void Target::AttachObservability(obs::Observability* obs) {
 
 void Target::AttachChecker(check::InvariantChecker* chk) {
   chk_ = chk;
-  for (int i = 0; i < static_cast<int>(pipelines_.size()); ++i) {
-    pipelines_[i]->policy->AttachChecker(chk_, i);
+  for (const auto& p : pipelines_) {
+    p->policy->AttachChecker(chk_, p->id);
   }
 }
 
@@ -98,7 +100,7 @@ void Target::FreeSessionIfDrained(Pipeline& p, TenantId tenant) {
 }
 
 void Target::Connect(int pipeline, TenantId tenant, CompletionSink* sink) {
-  Pipeline& p = *pipelines_[pipeline];
+  Pipeline& p = Pipe(pipeline);
   Session& s = SessionFor(p, tenant);
   // A reconnect simply replaces the sink; an in-flight teardown is
   // cancelled (the new connection adopts any still-draining IOs).
@@ -108,7 +110,7 @@ void Target::Connect(int pipeline, TenantId tenant, CompletionSink* sink) {
 
 void Target::OnConnectCapsule(int pipeline, TenantId tenant,
                               CompletionSink* sink) {
-  Pipeline& p = *pipelines_[pipeline];
+  Pipeline& p = Pipe(pipeline);
   CoreOf(p).Acquire(config_.submit_cost, [this, &p, tenant, sink]() {
     Session& s = SessionFor(p, tenant);
     s.sink = sink;
@@ -117,7 +119,7 @@ void Target::OnConnectCapsule(int pipeline, TenantId tenant,
 }
 
 void Target::OnCommandCapsule(int pipeline, IoRequest req) {
-  Pipeline& p = *pipelines_[pipeline];
+  Pipeline& p = Pipe(pipeline);
   ++p.stats.ios;
   p.stats.bytes += req.length;
   Session& s = SessionFor(p, req.tenant);
@@ -198,14 +200,14 @@ void Target::DeliverToPolicy(Pipeline& p, const IoRequest& req) {
 }
 
 void Target::OnTrimCapsule(int pipeline, uint64_t offset, uint32_t length) {
-  Pipeline& p = *pipelines_[pipeline];
+  Pipeline& p = Pipe(pipeline);
   CoreOf(p).Acquire(config_.submit_cost, [&p, offset, length]() {
     p.policy->OnTrim(offset, length);
   });
 }
 
 void Target::OnDisconnectCapsule(int pipeline, TenantId tenant) {
-  Pipeline& p = *pipelines_[pipeline];
+  Pipeline& p = Pipe(pipeline);
   if (Session* s = FindSession(p, tenant)) {
     Untrack(p, *s);  // graceful exit: nothing left for the crash reaper
     s->parting = true;
@@ -234,7 +236,7 @@ void Target::OnKeepaliveCapsule(int pipeline, TenantId tenant) {
 
 void Target::TouchSession(int pipeline, TenantId tenant) {
   if (config_.session_timeout <= 0) return;
-  Pipeline& p = *pipelines_[pipeline];
+  Pipeline& p = Pipe(pipeline);
   Session& s = SessionFor(p, tenant);
   s.last_seen = p.sim->now();
   if (!s.tracked) {

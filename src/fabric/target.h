@@ -21,6 +21,7 @@
 // by value and are meant for control context, between runs.
 #pragma once
 
+#include <cassert>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -83,6 +84,17 @@ class Target {
   // the client simulator.
   void ConfigureShards(const std::vector<sim::Simulator*>& core_sims);
 
+  // Rack topology (docs/SIMULATOR.md): pipeline ids handed out by
+  // AddPipeline — and accepted by every capsule entry point — start at
+  // `base`. A multi-node testbed gives node n's target base = first global
+  // SSD index on that node, so initiators address pipelines by global id
+  // no matter which node owns them. Must precede AddPipeline.
+  void SetPipelineBase(int base) {
+    assert(pipelines_.empty() && "SetPipelineBase must precede AddPipeline");
+    base_ = base;
+  }
+  int pipeline_base() const { return base_; }
+
   // Attach an SSD pipeline driven by `policy`; returns the pipeline id.
   // The policy must already be bound to its block device. `obs` overrides
   // the target-wide observability for this pipeline (the sharded testbed
@@ -142,7 +154,7 @@ class Target {
   // Attach the invariant checker; propagated like AttachObservability.
   void AttachChecker(check::InvariantChecker* chk);
 
-  core::IoPolicy& policy(int pipeline) { return *pipelines_[pipeline]->policy; }
+  core::IoPolicy& policy(int pipeline) { return *Pipe(pipeline).policy; }
   int pipeline_count() const { return static_cast<int>(pipelines_.size()); }
   const TargetConfig& config() const { return config_; }
 
@@ -198,6 +210,10 @@ class Target {
     sim::TimerHandle reaper_timer;
   };
 
+  // Resolve a global pipeline id to this target's local slot.
+  Pipeline& Pipe(int pipeline) {
+    return *pipelines_[static_cast<size_t>(pipeline - base_)];
+  }
   sim::FifoResource& CoreOf(const Pipeline& p) { return *cores_[p.core]; }
   obs::Observability* ObsOf(const Pipeline& p) const {
     return p.obs_override ? p.obs_override : obs_;
@@ -231,6 +247,7 @@ class Target {
   std::vector<std::unique_ptr<sim::FifoResource>> cores_;
   std::vector<sim::Simulator*> core_sims_;  // parallel to cores_
   std::vector<std::unique_ptr<Pipeline>> pipelines_;
+  int base_ = 0;  // global id of this target's first pipeline
   obs::Observability* obs_ = nullptr;  // null = not observed
   check::InvariantChecker* chk_ = nullptr;
 };

@@ -95,6 +95,28 @@ bool FaultInjector::SetHealth(int ssd, SsdHealth to) {
 
 void FaultInjector::Schedule(const FaultPlan& plan) {
   plan_ = plan;
+  // Whole-node failures expand into one SsdFailure per SSD on the node,
+  // all at the node's fail/recover ticks — the scheduling loop below then
+  // treats them exactly like planned per-SSD failures, so every SSD on
+  // the node fails (and heals) atomically on its own shard. The rack
+  // fabric's message blackout is scheduled separately by the testbed
+  // (Network::AddNodeOutage). A node-level trace event marks each edge on
+  // the injector's (client) simulator.
+  for (const NodeFailure& nf : plan_.node_failures) {
+    for (int s = 0; s < num_ssds(); ++s) {
+      if (NodeOf(s) == nf.node) {
+        plan_.failures.push_back(SsdFailure{s, nf.fail_at, nf.recover_at});
+      }
+    }
+    scheduled_.push_back(sim_.At(nf.fail_at, [this, nf]() {
+      Inject("node_fail", -1, static_cast<double>(nf.node));
+    }));
+    if (nf.recover_at > 0) {
+      scheduled_.push_back(sim_.At(nf.recover_at, [this, nf]() {
+        Inject("node_recover", -1, static_cast<double>(nf.node));
+      }));
+    }
+  }
   // Per-SSD window edges run on the SSD's simulator: the health observers
   // they fire (the pipeline policies) live on that shard.
   for (const StallWindow& w : plan_.stalls) {

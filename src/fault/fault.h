@@ -31,6 +31,7 @@
 // handles) is then single-writer.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -86,17 +87,30 @@ struct LinkFlap {
   Tick extra_delay = 0;
 };
 
+// (f) Whole-node failure (docs/FAULTS.md, rack topology): at `fail_at`
+// every SSD on `node` fails atomically (same tick, same semantics as an
+// SsdFailure on each) and the rack fabric drops every message to or from
+// the node; at `recover_at` (0 = never) the SSDs enter recovering and the
+// fabric forwards again. Requires a testbed with nodes configured
+// (ConfigureNodes) — on a single-node bed node 0 means "every SSD".
+struct NodeFailure {
+  int node = 0;
+  Tick fail_at = 0;
+  Tick recover_at = 0;
+};
+
 struct FaultPlan {
   std::vector<MediaErrorBurst> media_errors;
   std::vector<StallWindow> stalls;
   std::vector<SsdFailure> failures;
   std::vector<LinkFlap> link_flaps;
+  std::vector<NodeFailure> node_failures;
   // recovering -> healthy delay after a failure's recover_at.
   Tick recovery_probation = Milliseconds(10);
 
   bool empty() const {
     return media_errors.empty() && stalls.empty() && failures.empty() &&
-           link_flaps.empty();
+           link_flaps.empty() && node_failures.empty();
   }
 };
 
@@ -112,9 +126,22 @@ class FaultInjector {
   void ConfigureShards(const std::vector<sim::Simulator*>& ssd_sims,
                        const std::vector<obs::Observability*>& ssd_obs);
 
+  // Rack topology: `node_of[ssd]` maps each SSD to its node, so a
+  // NodeFailure can expand into that node's per-SSD failures. Call before
+  // Schedule(). Without it every SSD counts as node 0.
+  void ConfigureNodes(std::vector<int> node_of) {
+    assert(scheduled_.empty() && "ConfigureNodes must precede Schedule");
+    node_of_ = std::move(node_of);
+  }
+  int NodeOf(int ssd) const {
+    return node_of_.empty() ? 0 : node_of_[static_cast<size_t>(ssd)];
+  }
+
   // Schedule every fault in `plan` on the event queue. Call once, before
   // the experiment runs past the earliest fault time. Every scheduled
   // window edge holds a TimerHandle, so a plan can be torn down again.
+  // NodeFailures expand here into one SsdFailure per SSD on the node, all
+  // at identical ticks (the atomic whole-node fail/recover).
   void Schedule(const FaultPlan& plan);
 
   // Cancels every still-pending scheduled fault event (window edges,
@@ -227,6 +254,7 @@ class FaultInjector {
   uint64_t seed_;
   Rng link_rng_;
   std::vector<SsdState> ssds_;
+  std::vector<int> node_of_;  // empty: single node
   FaultPlan plan_;
   // Writer-context-split counters: link_* are written by the network call
   // path (control thread under sharding), crashes_ by the client shard.

@@ -138,6 +138,14 @@ void Blobstore::WriteReplicated(const BlobAddr& primary,
     Write(primary, prio, std::move(done));
     return;
   }
+  if (chk_) {
+    // Every replicated write proves its placement: the two copies must sit
+    // on distinct failure domains (kv.placement.domain, docs/TESTING.md).
+    chk_->OnKvReplicaPlacement(static_cast<TenantId>(instance_),
+                               primary.backend, shadow.backend,
+                               NodeOf(primary.backend),
+                               NodeOf(shadow.backend));
+  }
   struct JoinCtx {
     int remaining = 2;
     IoStatus primary_status = IoStatus::kOk;

@@ -100,6 +100,15 @@ class Blobstore {
     return down_[static_cast<size_t>(backend)] != 0;
   }
 
+  // Rack topology: the node each backend SSD lives on, for the
+  // kv.placement.domain invariant (replicated copies must land on distinct
+  // failure domains). Empty — the default — means node == backend, which
+  // is exactly the single-node bed's behavior.
+  void SetNodeMap(std::vector<int> node_of) { node_of_ = std::move(node_of); }
+  int NodeOf(int backend) const {
+    return node_of_.empty() ? backend : node_of_[static_cast<size_t>(backend)];
+  }
+
   uint32_t credits(int backend) const {
     return backends_[static_cast<size_t>(backend)]->credits();
   }
@@ -166,6 +175,7 @@ class Blobstore {
   std::vector<fabric::Initiator*> backends_;
   bool load_balance_reads_;
   uint64_t lb_rr_ = 0;  // epsilon-probe counter for replica selection
+  std::vector<int> node_of_;   // backend -> node; empty = node == backend
   std::vector<uint8_t> down_;  // observed per-backend down flags
   std::deque<DirtyReplica> dirty_;
   std::function<void()> dirty_cb_;

@@ -21,6 +21,16 @@ KvCluster::Instance& KvCluster::AddInstance() {
   // The local allocator's load signal is the §3.7 virtual-view credit.
   inst->alloc = std::make_unique<LocalBlobAllocator>(
       global_, [blobs](int backend) { return blobs->credits(backend); });
+  if (bed_.nodes() > 1) {
+    // Rack bed: replica placement spreads across failure domains — the
+    // allocator excludes the whole node, the blobstore proves it per write.
+    std::vector<int> node_of(static_cast<size_t>(cfg_.testbed.num_ssds));
+    for (int b = 0; b < cfg_.testbed.num_ssds; ++b) {
+      node_of[static_cast<size_t>(b)] = bed_.node_of(b);
+    }
+    inst->blobs->SetNodeMap(node_of);
+    inst->alloc->SetNodeMap(std::move(node_of));
+  }
   inst->db = std::make_unique<KvDb>(bed_.sim(), *inst->blobs, *inst->alloc,
                                     cfg_.db);
   inst->db->AttachObservability(bed_.client_obs(), inst->id);

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "core/params.h"
+
 namespace gimbal::kv {
 
 GlobalBlobAllocator::GlobalBlobAllocator(int backends, HbaConfig config)
@@ -48,8 +50,16 @@ LocalBlobAllocator::LocalBlobAllocator(GlobalBlobAllocator& global,
 int LocalBlobAllocator::PreferredBackend(int exclude_backend) const {
   int best = -1;
   uint64_t best_credit = 0;
+  const int exclude_node =
+      exclude_backend >= 0 ? NodeOf(exclude_backend) : -1;
   for (int b = 0; b < global_.backends(); ++b) {
-    if (b == exclude_backend) continue;
+    // Failure-domain exclusion: skip every backend on the excluded
+    // backend's node, not just the backend itself.
+    if (GIMBAL_MUT(kPlacementCollapse) ? b == exclude_backend
+                                       : exclude_node >= 0 &&
+                                             NodeOf(b) == exclude_node) {
+      continue;
+    }
     // Backends with no space left are not candidates.
     if (free_micros_[static_cast<size_t>(b)].empty() &&
         global_.FreeMegasOn(b) == 0) {

@@ -52,8 +52,18 @@ class LocalBlobAllocator {
   LocalBlobAllocator(GlobalBlobAllocator& global,
                      std::function<uint32_t(int)> credit_of);
 
+  // Rack topology (docs/SIMULATOR.md): `node_of[b]` is the failure domain
+  // backend `b` lives on. Exclusion below is domain-wide, so replicas never
+  // share a node. Unset, every backend is its own domain — exactly the
+  // pre-rack per-backend exclusion.
+  void SetNodeMap(std::vector<int> node_of) { node_of_ = std::move(node_of); }
+  int NodeOf(int backend) const {
+    return node_of_.empty() ? backend : node_of_[static_cast<size_t>(backend)];
+  }
+
   // Allocate one micro blob. `exclude_backend` (>=0) forces the choice
-  // away from a backend — used to place a shadow replica off-primary.
+  // off that backend's entire failure domain — used to place a shadow
+  // replica off the primary's node.
   std::optional<BlobAddr> AllocateMicro(int exclude_backend = -1);
   void FreeMicro(const BlobAddr& micro);
 
@@ -67,6 +77,7 @@ class LocalBlobAllocator {
 
   GlobalBlobAllocator& global_;
   std::function<uint32_t(int)> credit_of_;
+  std::vector<int> node_of_;  // empty: node == backend
   std::vector<std::vector<BlobAddr>> free_micros_;  // per backend
 };
 

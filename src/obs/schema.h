@@ -185,6 +185,20 @@ inline constexpr MetricDef kKvRecoveries{
     "kv.recoveries", "events",
     "DB instances recovered from a simulated crash by WAL replay",
     "kv/db.cc:Recover"};
+inline constexpr MetricDef kRackUplinkBytes{
+    "rack.uplink.bytes", "bytes",
+    "bytes serialized across the shared ToR uplink, both directions",
+    "workload/runner.cc:FlushObservability"};
+inline constexpr MetricDef kRackNodeUplinkBytes{
+    "rack.node.uplink_bytes", "bytes",
+    "per-node share of the uplink bytes (ssd label = node id; sums to "
+    "rack.uplink.bytes — the rack.uplink.conservation invariant)",
+    "workload/runner.cc:FlushObservability"};
+inline constexpr MetricDef kRackNodeDrops{
+    "rack.node.drops", "messages",
+    "fabric messages dropped because their node was down (whole-node "
+    "failure blackout; distinct from link-flap drops)",
+    "workload/runner.cc:FlushObservability"};
 inline constexpr MetricDef kTxnCommits{
     "txn.commits", "txns",
     "transactions committed (every write durably acked through the WAL "
@@ -335,6 +349,8 @@ inline constexpr const char* kEvKvDegradedWrite = "kv.degraded_write";
 inline constexpr const char* kEvKvRebuild = "kv.rebuild";
 inline constexpr const char* kEvKvWalRetry = "kv.wal_retry";
 inline constexpr const char* kEvKvRecover = "kv.recover";
+// Whole-node fail/recover edges ride kEvFaultInject with keys
+// "node_fail"/"node_recover" and the node id as the value (fault/fault.cc).
 inline constexpr const char* kEvTxnCommit = "txn.commit";
 inline constexpr const char* kEvTxnAbort = "txn.abort";
 inline constexpr const char* kEvTxnWound = "txn.wound";

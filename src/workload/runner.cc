@@ -25,19 +25,29 @@ fabric::ThrottleMode ThrottleFor(Scheme s) {
   }
 }
 
+int Testbed::ShardOf(int i) const {
+  const int node = i / ssds_per_node_;
+  return 1 + node * used_cores_ + (i % ssds_per_node_) % used_cores_;
+}
+
 sim::Simulator& Testbed::SsdSim(int i) {
   if (!engine_) return *sim_;
-  return engine_->shard(1 + (i % used_cores_));
+  return engine_->shard(ShardOf(i));
 }
 
 obs::Observability* Testbed::SsdObs(int i) {
   if (shard_obs_.empty()) return cfg_.obs;
-  return shard_obs_[static_cast<size_t>(1 + (i % used_cores_))].get();
+  return shard_obs_[static_cast<size_t>(ShardOf(i))].get();
 }
 
 Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg) {
   if (cfg_.obs && cfg_.run_label.empty()) cfg_.run_label = ToString(cfg_.scheme);
   if (cfg_.obs) cfg_.obs->metrics.set_run(cfg_.run_label);
+
+  assert(cfg_.nodes >= 1);
+  assert(cfg_.num_ssds % cfg_.nodes == 0 &&
+         "num_ssds must divide evenly across nodes");
+  ssds_per_node_ = cfg_.num_ssds / cfg_.nodes;
 
   // Sharding is structural, not a function of the thread count: the same
   // shard/epoch schedule runs whether 1 or N threads execute it, which is
@@ -46,12 +56,15 @@ Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg) {
   // the original single-simulator path unchanged.
   const bool sharded = cfg_.num_ssds > 1 && cfg_.net.base_latency > 0;
   if (sharded) {
-    used_cores_ = std::min(cfg_.target.cores, cfg_.num_ssds);
+    // (node, core) topology: one shard per used core per node, so a rack
+    // bed's schedule — like the single node's — is thread-count invariant.
+    used_cores_ = std::min(cfg_.target.cores, ssds_per_node_);
     sim::ShardedEngine::Config ec;
     ec.threads = cfg_.threads;
     ec.lookahead = cfg_.net.base_latency;
     ec.impl = cfg_.queue_impl;
-    engine_ = std::make_unique<sim::ShardedEngine>(1 + used_cores_, ec);
+    engine_ =
+        std::make_unique<sim::ShardedEngine>(1 + cfg_.nodes * used_cores_, ec);
     sim_ = &engine_->shard(0);
     if (cfg_.obs) {
       shard_obs_.resize(static_cast<size_t>(engine_->num_shards()));
@@ -79,6 +92,21 @@ Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg) {
   net_ = std::make_unique<fabric::Network>(*sim_, cfg_.net);
   faults_ = std::make_unique<fault::FaultInjector>(*sim_, cfg_.num_ssds,
                                                    cfg_.fault_seed);
+  if (cfg_.nodes > 1) {
+    // Rack fabric: every message crosses the shared ToR uplink and its
+    // node's access link; whole-node failures black the node out at the
+    // fabric and fail its SSDs atomically via the injector's node map.
+    std::vector<int> node_map(static_cast<size_t>(cfg_.num_ssds));
+    for (int i = 0; i < cfg_.num_ssds; ++i) node_map[i] = node_of(i);
+    net_->ConfigureRack(node_map, cfg_.nodes,
+                        cfg_.uplink_bps > 0 ? cfg_.uplink_bps
+                                            : cfg_.net.bandwidth_bps);
+    net_->AttachChecker(check_);
+    faults_->ConfigureNodes(std::move(node_map));
+    for (const fault::NodeFailure& nf : cfg_.faults.node_failures) {
+      net_->AddNodeOutage(nf.node, nf.fail_at, nf.recover_at);
+    }
+  }
   if (engine_) {
     std::vector<sim::Simulator*> ssd_sims(static_cast<size_t>(cfg_.num_ssds));
     std::vector<obs::Observability*> ssd_obs(static_cast<size_t>(cfg_.num_ssds));
@@ -99,16 +127,24 @@ Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg) {
   if (!cfg_.faults.link_flaps.empty()) net_->set_fault_injector(faults_.get());
   faults_->AttachChecker(check_);
 
-  target_ = std::make_unique<fabric::Target>(*sim_, *net_, cfg_.target);
-  if (engine_) {
-    std::vector<sim::Simulator*> core_sims(
-        static_cast<size_t>(cfg_.target.cores), sim_);
-    for (int c = 0; c < used_cores_; ++c) core_sims[c] = &engine_->shard(1 + c);
-    target_->ConfigureShards(core_sims);
+  // One Target per node; node n hands out global pipeline ids starting at
+  // its base, so pipeline/SSD/tenant addressing stays flat rack-wide.
+  for (int n = 0; n < cfg_.nodes; ++n) {
+    auto target = std::make_unique<fabric::Target>(*sim_, *net_, cfg_.target);
+    target->SetPipelineBase(n * ssds_per_node_);
+    if (engine_) {
+      std::vector<sim::Simulator*> core_sims(
+          static_cast<size_t>(cfg_.target.cores), sim_);
+      for (int c = 0; c < used_cores_; ++c) {
+        core_sims[c] = &engine_->shard(1 + n * used_cores_ + c);
+      }
+      target->ConfigureShards(core_sims);
+    }
+    // Attach before AddPipeline so policies resolve handles as they appear.
+    target->AttachObservability(cfg_.obs);
+    target->AttachChecker(check_);
+    targets_.push_back(std::move(target));
   }
-  // Attach before AddPipeline so policies resolve handles as they appear.
-  target_->AttachObservability(cfg_.obs);
-  target_->AttachChecker(check_);
   for (int i = 0; i < cfg_.num_ssds; ++i) {
     sim::Simulator& psim = SsdSim(i);
     if (cfg_.use_null_device) {
@@ -131,13 +167,13 @@ Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg) {
           psim, std::move(devices_[i]), *faults_, i);
     }
     if (cfg_.obs) devices_.back()->AttachObservability(SsdObs(i), i);
-    int id = target_->AddPipeline(MakePolicy(psim, *devices_.back()),
-                                  shard_obs_.empty() ? nullptr : SsdObs(i));
+    int id = target_of(i).AddPipeline(MakePolicy(psim, *devices_.back()),
+                                      shard_obs_.empty() ? nullptr : SsdObs(i));
     assert(id == i);
     (void)id;
     // Health transitions reach the pipeline's policy (fail-fast drain on
     // kFailed, EWMA reset on recovery — core/gimbal_switch.cc).
-    core::IoPolicy* policy = &target_->policy(i);
+    core::IoPolicy* policy = &target_of(i).policy(i);
     faults_->Subscribe(i, [policy](fault::SsdHealth h) {
       policy->OnSsdHealthChange(h);
     });
@@ -148,8 +184,23 @@ Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg) {
 Testbed::~Testbed() {
   // Shard tracers merge at every epoch barrier; metrics merge here (and at
   // the end of every Run), while everything is still alive and quiescent.
+  PublishRackMetrics();
   MergeShardTracers();
   FlushShardMetrics();
+}
+
+void Testbed::PublishRackMetrics() {
+  if (!cfg_.obs || !net_->rack()) return;
+  namespace schema = obs::schema;
+  obs::MetricsRegistry& reg = cfg_.obs->metrics;
+  reg.GetGauge(schema::kRackUplinkBytes)
+      .Set(static_cast<double>(net_->uplink_bytes()));
+  for (int n = 0; n < net_->nodes(); ++n) {
+    reg.GetGauge(schema::kRackNodeUplinkBytes, obs::Labels::Ssd(n))
+        .Set(static_cast<double>(net_->node_uplink_bytes(n)));
+  }
+  reg.GetGauge(schema::kRackNodeDrops)
+      .Set(static_cast<double>(net_->node_drops()));
 }
 
 void Testbed::OnEpochBarrier() {
@@ -219,7 +270,7 @@ std::unique_ptr<core::IoPolicy> Testbed::MakePolicy(sim::Simulator& psim,
 
 core::GimbalSwitch* Testbed::gimbal_switch(int i) {
   return cfg_.scheme == Scheme::kGimbal
-             ? static_cast<core::GimbalSwitch*>(&target_->policy(i))
+             ? static_cast<core::GimbalSwitch*>(&target_of(i).policy(i))
              : nullptr;
 }
 
@@ -229,7 +280,7 @@ std::unique_ptr<fabric::Initiator> Testbed::MakeInitiator(
   obs::Observability* client_obs =
       shard_obs_.empty() ? cfg_.obs : shard_obs_[0].get();
   auto init = std::make_unique<fabric::Initiator>(
-      *sim_, *net_, *target_, ssd_index, tenant,
+      *sim_, *net_, target_of(ssd_index), ssd_index, tenant,
       throttle.value_or(ThrottleFor(cfg_.scheme)), cfg_.parda, cfg_.retry,
       connect);
   init->AttachObservability(cfg_.obs ? client_obs : nullptr);

@@ -55,6 +55,19 @@ enum class SsdCondition { kClean, kFragmented };
 
 struct TestbedConfig {
   int num_ssds = 1;
+  // --- Rack topology (docs/SIMULATOR.md) -----------------------------------
+  // Target nodes behind a shared ToR uplink. 1 — the default — is the
+  // single-JBOF testbed, event-for-event identical to the pre-rack code.
+  // With nodes > 1, num_ssds must divide evenly: SSD i lives on node
+  // i / (num_ssds / nodes), each node gets its own Target (cfg.target.cores
+  // are per node), fabric messages serialize on the shared uplink and the
+  // node's access link, and replica placement / whole-node faults become
+  // node-aware. Shard topology generalizes to (node, core): one shard per
+  // used core per node, so rack runs stay bit-identical at any thread
+  // count.
+  int nodes = 1;
+  // Shared ToR uplink bandwidth (bytes/sec); 0 = same as net.bandwidth_bps.
+  double uplink_bps = 0;
   ssd::SsdConfig ssd = {};
   SsdCondition condition = SsdCondition::kClean;
   fabric::TargetConfig target = fabric::TargetConfig::SmartNicLike();
@@ -121,11 +134,18 @@ class Testbed {
   // The engine behind a sharded testbed; null in single-simulator mode.
   sim::ShardedEngine* engine() { return engine_.get(); }
   fabric::Network& net() { return *net_; }
-  fabric::Target& target() { return *target_; }
+  // Node 0's target (the whole testbed on a single-node bed).
+  fabric::Target& target() { return *targets_[0]; }
+  // The target node that owns pipeline/SSD `ssd` (global index).
+  fabric::Target& target_of(int ssd) {
+    return *targets_[static_cast<size_t>(node_of(ssd))];
+  }
+  int nodes() const { return cfg_.nodes; }
+  int node_of(int ssd) const { return ssd / ssds_per_node_; }
   ssd::BlockDevice& device(int i) { return *devices_[i]; }
   // The full SSD model behind pipeline i (nullptr in NULL-device mode).
   ssd::Ssd* ssd(int i) { return ssds_[i]; }
-  core::IoPolicy& policy(int i) { return target_->policy(i); }
+  core::IoPolicy& policy(int i) { return target_of(i).policy(i); }
   // The Gimbal switch behind pipeline i, or nullptr for other schemes.
   core::GimbalSwitch* gimbal_switch(int i);
   // The fault injector driving this testbed (always present; inert when
@@ -148,6 +168,7 @@ class Testbed {
   // No-op in single-simulator mode, where components already record into
   // cfg.obs.
   void FlushObservability() {
+    PublishRackMetrics();
     MergeShardTracers();
     FlushShardMetrics();
   }
@@ -192,6 +213,10 @@ class Testbed {
  private:
   std::unique_ptr<core::IoPolicy> MakePolicy(sim::Simulator& psim,
                                              ssd::BlockDevice& dev);
+  // The shard pipeline/SSD i executes on: (node, core) topology — shard
+  // 1 + node * used_cores_ + (local index % used_cores_), which reduces to
+  // the historical 1 + (i % used_cores_) on a single node.
+  int ShardOf(int i) const;
   // The simulator pipeline/SSD i executes on (sim_ in plain mode).
   sim::Simulator& SsdSim(int i);
   // The observability pipeline/SSD i records into (cfg.obs in plain mode).
@@ -203,6 +228,9 @@ class Testbed {
   // Fold shard metric registries into the session registry (delta since
   // the previous flush; gauges overwrite idempotently).
   void FlushShardMetrics();
+  // Overwrite the rack.* gauges from the Network's totals (rack mode +
+  // observed only; gauges, so repeated publishes are idempotent).
+  void PublishRackMetrics();
 
   TestbedConfig cfg_;
   // Destruction order matters, bottom-up at the `}`: components hold
@@ -211,7 +239,8 @@ class Testbed {
   std::unique_ptr<sim::ShardedEngine> engine_;  // sharded mode only
   std::unique_ptr<sim::Simulator> owned_sim_;   // plain mode only
   sim::Simulator* sim_ = nullptr;               // client-domain simulator
-  int used_cores_ = 0;  // target cores that actually host pipelines
+  int used_cores_ = 0;     // per-node target cores that host pipelines
+  int ssds_per_node_ = 1;  // num_ssds / nodes
   // Per-shard observability (index = shard id), sharded + observed only.
   std::vector<std::unique_ptr<obs::Observability>> shard_obs_;
   std::vector<obs::EventTracer::Event> merge_buf_;
@@ -221,7 +250,9 @@ class Testbed {
   check::InvariantChecker* check_ = nullptr;
   std::unique_ptr<fabric::Network> net_;
   std::unique_ptr<fault::FaultInjector> faults_;
-  std::unique_ptr<fabric::Target> target_;
+  // One target per node (a single entry on the classic single-node bed);
+  // node n's target hands out global pipeline ids via its pipeline base.
+  std::vector<std::unique_ptr<fabric::Target>> targets_;
   std::vector<std::unique_ptr<ssd::BlockDevice>> devices_;
   std::vector<ssd::Ssd*> ssds_;
   std::vector<std::unique_ptr<fabric::Initiator>> initiators_;

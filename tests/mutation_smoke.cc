@@ -1,11 +1,12 @@
 // Mutation smoke test (docs/TESTING.md): proves the invariant checker
 // actually catches bugs, not just that clean runs stay quiet.
 //
-// Built with -DGIMBAL_MUTATIONS=1, which compiles seven seeded off-by-one
-// bugs into the scheduler/flow-control/locking hot paths behind a runtime
-// selector (core/params.h). Each invocation activates one mutation, runs a
-// small testbed with a fail_fast=false checker attached, and exits 0 iff
-// the checker flagged the invariant family that mutation breaks:
+// Built with -DGIMBAL_MUTATIONS=1, which compiles nine seeded off-by-one
+// bugs into the scheduler/flow-control/locking/placement hot paths behind
+// a runtime selector (core/params.h). Each invocation activates one
+// mutation, runs a small testbed with a fail_fast=false checker attached,
+// and exits 0 iff the checker flagged the invariant family that mutation
+// breaks:
 //
 //   none           no mutation; the run must be violation-free and the
 //                  drain balance must close (guards against a checker that
@@ -17,8 +18,10 @@
 //   health_skip    transition validation bypassed      -> health.*
 //   lock_leak      2PL ReleaseAll forgets a held lock  -> drain.txn.*
 //   phantom_unlock ReleaseAll reports a lock twice     -> txn.lock.phantom
+//   placement_collapse HBA excludes backend, not node  -> kv.placement.*
+//   uplink_leak    node 0 skips uplink accounting      -> rack.uplink.*
 //
-// ctest runs all eight (tests/CMakeLists.txt).
+// ctest runs all ten (tests/CMakeLists.txt).
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -27,6 +30,7 @@
 #include "core/drr_scheduler.h"
 #include "core/params.h"
 #include "core/write_cost.h"
+#include "kv/cluster.h"
 #include "kv/txn.h"
 #include "workload/fio.h"
 #include "workload/runner.h"
@@ -120,6 +124,52 @@ void RunPhantomUnlock(check::InvariantChecker* chk) {
   lm.ReleaseAll(1);
 }
 
+// Fault-free two-node rack cluster: every replicated write (WAL chunks,
+// memtable flushes) reports its (primary, shadow) nodes to the checker.
+// The (mutated) allocator excludes only the exact primary backend instead
+// of its whole node, so ties collapse onto the primary's node sibling and
+// the very first replicated write trips kv.placement.domain.
+void RunRackPlacement(check::InvariantChecker* chk) {
+  kv::KvClusterConfig cfg;
+  cfg.testbed.scheme = Scheme::kGimbal;
+  cfg.testbed.num_ssds = 4;
+  cfg.testbed.nodes = 2;
+  cfg.testbed.target.cores = 2;
+  cfg.testbed.ssd.logical_bytes = 128ull << 20;
+  cfg.testbed.check = chk;
+  cfg.hba.backend_bytes = 128ull << 20;
+  cfg.db.memtable_bytes = 64 * 1024;
+  kv::KvCluster cluster(cfg);
+  auto& inst = cluster.AddInstance();
+  for (uint64_t k = 0; k < 32; ++k) {
+    inst.db->Put(k, 1024, /*stamp=*/0, [](IoStatus) {});
+  }
+  cluster.sim().RunUntil(Milliseconds(50));
+}
+
+// Two fio workers on a two-node rack: the (mutated) fabric skips the
+// shared-uplink byte accounting for traffic from node 0, so the first
+// node-0 message breaks the per-node vs. total conservation sum.
+void RunRackMix(check::InvariantChecker* chk) {
+  TestbedConfig cfg;
+  cfg.scheme = Scheme::kGimbal;
+  cfg.num_ssds = 4;
+  cfg.nodes = 2;
+  cfg.target.cores = 2;
+  cfg.ssd.logical_bytes = 256ull << 20;
+  cfg.check = chk;
+  Testbed bed(cfg);
+  for (int i = 0; i < 2; ++i) {
+    workload::FioSpec spec;
+    spec.io_bytes = 4096;
+    spec.queue_depth = 8;
+    spec.read_ratio = 0.7;
+    spec.seed = 10 + static_cast<uint64_t>(i);
+    bed.AddWorker(spec, /*ssd_index=*/i);
+  }
+  bed.Run(Milliseconds(10), Milliseconds(50));
+}
+
 struct Case {
   const char* name;
   mut::Mutation mutation;
@@ -137,6 +187,9 @@ const Case kCases[] = {
     {"lock_leak", mut::Mutation::kLockLeak, "drain.txn.", RunLockLeak},
     {"phantom_unlock", mut::Mutation::kPhantomUnlock, "txn.lock.phantom",
      RunPhantomUnlock},
+    {"placement_collapse", mut::Mutation::kPlacementCollapse, "kv.placement",
+     RunRackPlacement},
+    {"uplink_leak", mut::Mutation::kUplinkLeak, "rack.uplink", RunRackMix},
 };
 
 }  // namespace
