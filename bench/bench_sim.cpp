@@ -205,12 +205,24 @@ double Fig11Wallclock(EventQueue::Impl impl, int instances, Tick measure) {
   return SecondsSince(t0);
 }
 
+struct SweepPoint {
+  int threads = 0;
+  double wall_ms = 0;
+  uint64_t epochs = 0;        // engine barrier count (thread-invariant)
+  uint64_t idle_wakeups = 0;  // doorbells that claimed nothing
+  // Hardware threads visible to *this point's* run. Recorded per point so
+  // the CI speedup gate can tell a genuine regression from a starved
+  // runner: a point with hardware_threads < threads measured
+  // oversubscription, not parallelism, and must be skipped, not failed.
+  unsigned hardware_threads = 0;
+};
+
 // Sharded-engine threads sweep (docs/SIMULATOR.md): a Fig 11-style KV
 // scenario wide enough to shard — one pipeline per target core, six cores —
 // run to the same simulated instant at several worker-thread counts. The
 // schedule is bit-identical at every count (the determinism suite pins
 // that); only the wall clock may move. Serial (threads=1) is the baseline.
-double ShardedWallclock(int threads, int instances, Tick measure) {
+SweepPoint ShardedWallclock(int threads, int instances, Tick measure) {
   kv::KvClusterConfig cfg;
   cfg.testbed.scheme = Scheme::kGimbal;
   cfg.testbed.num_ssds = 6;
@@ -236,7 +248,15 @@ double ShardedWallclock(int threads, int instances, Tick measure) {
   for (auto& c : clients) c->Start();
   const auto t0 = Clock::now();
   cluster.sim().RunUntil(measure);
-  return SecondsSince(t0);
+  SweepPoint p;
+  p.threads = threads;
+  p.wall_ms = SecondsSince(t0) * 1e3;
+  p.hardware_threads = std::thread::hardware_concurrency();
+  if (sim::ShardedEngine* eng = cluster.bed().engine()) {
+    p.epochs = eng->epochs();
+    p.idle_wakeups = eng->idle_wakeups();
+  }
+  return p;
 }
 
 void JsonEscapePrint(FILE* f, const std::string& s) {
@@ -315,7 +335,7 @@ int main(int argc, char** argv) {
   const int kSweepInstances = quick ? 6 : 12;
   const Tick kSweepMeasure = quick ? Milliseconds(60) : Milliseconds(200);
   const unsigned hw = std::thread::hardware_concurrency();
-  double sweep_ms[3] = {0, 0, 0};
+  SweepPoint sweep[3];
   std::printf("\nsharded-engine threads sweep (6 SSDs / 6 cores, %d KV "
               "instances, %.0f ms simulated, %u hardware threads):\n",
               kSweepInstances, ToSec(kSweepMeasure) * 1e3, hw);
@@ -325,12 +345,15 @@ int main(int argc, char** argv) {
                 "not parallel speedup\n");
   }
   for (size_t i = 0; i < 3; ++i) {
-    sweep_ms[i] = ShardedWallclock(kSweepThreads[i], kSweepInstances,
-                                   kSweepMeasure) *
-                  1e3;
-    std::printf("  threads=%d  %8.1f ms wall   speedup %.2fx\n",
-                kSweepThreads[i], sweep_ms[i],
-                sweep_ms[i] > 0 ? sweep_ms[0] / sweep_ms[i] : 0);
+    sweep[i] =
+        ShardedWallclock(kSweepThreads[i], kSweepInstances, kSweepMeasure);
+    std::printf("  threads=%d  %8.1f ms wall   speedup %.2fx   "
+                "epochs %llu   idle_wakeups %llu\n",
+                sweep[i].threads, sweep[i].wall_ms,
+                sweep[i].wall_ms > 0 ? sweep[0].wall_ms / sweep[i].wall_ms
+                                     : 0,
+                static_cast<unsigned long long>(sweep[i].epochs),
+                static_cast<unsigned long long>(sweep[i].idle_wakeups));
   }
 
   std::printf("\nInlineFn heap fallbacks over the hot loops: %llu\n",
@@ -387,9 +410,14 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < 3; ++i) {
     std::fprintf(f,
                  "    {\"threads\": %d, \"wall_ms\": %.1f, "
-                 "\"speedup_vs_serial\": %.3f}%s\n",
-                 kSweepThreads[i], sweep_ms[i],
-                 sweep_ms[i] > 0 ? sweep_ms[0] / sweep_ms[i] : 0,
+                 "\"speedup_vs_serial\": %.3f, \"hardware_threads\": %u, "
+                 "\"epochs\": %llu, \"idle_wakeups\": %llu}%s\n",
+                 sweep[i].threads, sweep[i].wall_ms,
+                 sweep[i].wall_ms > 0 ? sweep[0].wall_ms / sweep[i].wall_ms
+                                      : 0,
+                 sweep[i].hardware_threads,
+                 static_cast<unsigned long long>(sweep[i].epochs),
+                 static_cast<unsigned long long>(sweep[i].idle_wakeups),
                  i + 1 < 3 ? "," : "");
   }
   std::fprintf(f, "  ]},\n");

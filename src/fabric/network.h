@@ -114,7 +114,18 @@ class Network {
   // canonical order and schedule its delivery. Runs on the control thread
   // at epoch barriers, while all shards are quiescent. Returns the number
   // of messages replayed.
+  //
+  // The replay is a k-way merge over the per-source outboxes (each is
+  // time-sorted: shard clocks are monotone within an epoch) with link
+  // frontiers held in locals for the whole batch and uplink byte
+  // accounting folded per (batch, node) rather than per message — the
+  // conservation invariant is still checked against the post-batch sums.
   size_t ReplayPending();
+
+  // True while buffered cross-shard sends await replay. The sharded
+  // engine's coarsening probe: a coarsened epoch must end at the first
+  // sub-epoch that buffers a send (sim/shard.h).
+  bool has_pending() const { return pending_count_ > 0; }
 
   // Route every message through `faults` (null detaches).
   void set_fault_injector(fault::FaultInjector* faults) { faults_ = faults; }
@@ -191,6 +202,7 @@ class Network {
   sim::Simulator* client_sim_ = nullptr;
   std::vector<sim::Simulator*> ssd_sims_;  // empty = plain mode
   std::vector<std::vector<PendingSend>> outbox_;
+  size_t pending_count_ = 0;
   Tick busy_until_[2] = {0, 0};
 
   // Rack mode state (num_nodes_ == 0 = flat single-node fabric). Indexed
@@ -215,6 +227,11 @@ class Network {
   // Uplink accounting (rack.uplink.* metrics + conservation invariant).
   uint64_t uplink_bytes_total_ = 0;
   std::vector<uint64_t> node_uplink_bytes_;
+  // Replay scratch: per-node byte deltas for the current batch plus the
+  // touched-node list used to reset them (kept as members so barriers
+  // don't allocate).
+  std::vector<uint64_t> uplink_delta_;
+  std::vector<int> touched_nodes_;
   uint64_t node_drops_ = 0;
   Tick uplink_busy_accum_ = 0;
   check::InvariantChecker* chk_ = nullptr;

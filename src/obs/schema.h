@@ -199,6 +199,18 @@ inline constexpr MetricDef kRackNodeDrops{
     "fabric messages dropped because their node was down (whole-node "
     "failure blackout; distinct from link-flap drops)",
     "workload/runner.cc:FlushObservability"};
+inline constexpr MetricDef kShardEpochs{
+    "shard.epochs", "epochs",
+    "full synchronization rounds the sharded engine has run (epoch "
+    "coarsening makes this shrink on sparse cross-shard traffic; "
+    "identical at any thread count)",
+    "workload/runner.cc:PublishEngineMetrics"};
+inline constexpr MetricDef kShardIdleWakeups{
+    "shard.idle_wakeups", "wakeups",
+    "worker doorbell rings that claimed zero shards — stays 0 unless "
+    "claim racing leaves a woken worker empty-handed (never on sparse "
+    "traffic, where single-active epochs ring no doorbell)",
+    "workload/runner.cc:PublishEngineMetrics"};
 inline constexpr MetricDef kTxnCommits{
     "txn.commits", "txns",
     "transactions committed (every write durably acked through the WAL "

@@ -91,6 +91,17 @@ class EventTracer {
   // the merged tracer, or the digest would silently cover a partial run).
   void AddDropped(size_t n) { dropped_ += n; }
 
+  // Deferred-stitch support (workload::Testbed::MergeShardTracers): move
+  // the event buffer out so per-barrier shard batches can be spliced back
+  // at the positions they would have been appended at, then restore the
+  // rebuilt stream. Enable state and the live drop counter stay put;
+  // Restore folds in the drops the splice itself incurred against limit().
+  std::vector<Event> TakeForStitch() { return std::move(events_); }
+  void RestoreFromStitch(std::vector<Event>&& events, size_t extra_dropped) {
+    events_ = std::move(events);
+    dropped_ += extra_dropped;
+  }
+
   const std::vector<Event>& events() const { return events_; }
   size_t size() const { return events_.size(); }
   size_t dropped() const { return dropped_; }

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <chrono>
 
 namespace gimbal::sim {
 
@@ -16,7 +15,9 @@ Simulator* ShardedEngine::CurrentSim() { return tls_sim; }
 
 ShardedEngine::ShardedEngine(int num_shards, const Config& config)
     : lookahead_(config.lookahead),
-      threads_(std::clamp(config.threads, 1, num_shards)) {
+      threads_(std::clamp(config.threads, 1, num_shards)),
+      adaptive_(config.adaptive),
+      serial_grain_(config.serial_grain) {
   assert(num_shards >= 1);
   assert(lookahead_ > 0 && "conservative lookahead requires a positive "
                            "minimum cross-shard latency");
@@ -26,101 +27,210 @@ ShardedEngine::ShardedEngine(int num_shards, const Config& config)
   }
   shards_[0]->set_engine(this);
   active_.reserve(static_cast<size_t>(num_shards));
-  for (int i = 1; i < threads_; ++i) {
-    workers_.emplace_back([this]() { WorkerMain(); });
+  const int nworkers = threads_ - 1;
+  slots_.reserve(static_cast<size_t>(nworkers));
+  for (int i = 0; i < nworkers; ++i) {
+    slots_.push_back(std::make_unique<WorkerSlot>());
+  }
+  for (int i = 0; i < nworkers; ++i) {
+    workers_.emplace_back([this, i]() { WorkerMain(i); });
   }
 }
 
 ShardedEngine::~ShardedEngine() {
   quit_.store(true, std::memory_order_release);
-  epoch_seq_.fetch_add(1, std::memory_order_release);
-  epoch_seq_.notify_all();
+  ++seq_;
+  for (auto& s : slots_) Ring(*s, seq_);
   for (std::thread& t : workers_) t.join();
   shards_[0]->set_engine(nullptr);
 }
 
-Tick ShardedEngine::NextEventTime() const {
-  Tick t = kNone;
-  for (const auto& s : shards_) {
-    EventQueue& q = const_cast<Simulator&>(*s).queue();
-    if (q.empty()) continue;
-    const Tick n = q.next_time();
-    if (t == kNone || n < t) t = n;
-  }
-  return t;
+// Doorbell ring: publish the epoch with a release store the worker
+// acquires, then issue the futex wake only if the worker actually parked.
+// The seq_cst fence pairs with the one in WorkerMain's park path: either
+// the worker's post-park recheck sees the new `go`, or this load sees
+// `parked` and notifies — a wakeup can never be lost.
+void ShardedEngine::Ring(WorkerSlot& slot, uint64_t seq) {
+  slot.go.store(seq, std::memory_order_release);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (slot.parked.load(std::memory_order_relaxed)) slot.go.notify_all();
 }
 
-void ShardedEngine::RunClaimedShards() {
+void ShardedEngine::WaitDone(WorkerSlot& slot, uint64_t seq) {
+  int spins = 0;
+  uint64_t done;
+  while ((done = slot.done.load(std::memory_order_acquire)) < seq) {
+    if (++spins > kSpinLimit) {
+      waiting_.store(1, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      done = slot.done.load(std::memory_order_acquire);
+      if (done >= seq) break;
+      slot.done.wait(done, std::memory_order_acquire);
+      spins = 0;
+    }
+  }
+  waiting_.store(0, std::memory_order_relaxed);
+}
+
+bool ShardedEngine::RunClaimedShards() {
   const uint64_t n = active_.size();
+  bool claimed = false;
   for (;;) {
     const uint64_t idx = next_claim_.fetch_add(1, std::memory_order_relaxed);
-    if (idx >= n) return;
+    if (idx >= n) return claimed;
+    claimed = true;
     const int shard_idx = active_[static_cast<size_t>(idx)];
     Simulator* s = shards_[static_cast<size_t>(shard_idx)].get();
     tls_shard = shard_idx;
     tls_sim = s;
-    s->StepUntil(epoch_last_);
+    s->StepUntil(epoch_end_);
     tls_shard = -1;
     tls_sim = nullptr;
   }
 }
 
-void ShardedEngine::WorkerMain() {
+void ShardedEngine::WorkerMain(int index) {
+  WorkerSlot& slot = *slots_[static_cast<size_t>(index)];
   uint64_t seen = 0;
   for (;;) {
     // Spin hot briefly (epochs on a busy run are microseconds apart), then
     // park on the futex-backed atomic wait so an idle or oversubscribed
-    // engine neither burns a core nor yield-storms.
+    // engine neither burns a core nor yield-storms. The parked flag lets
+    // the control thread skip the wake syscall while we are still
+    // spinning — the common case on a loaded run.
     int spins = 0;
-    while (epoch_seq_.load(std::memory_order_acquire) == seen) {
-      if (++spins > 4096) epoch_seq_.wait(seen, std::memory_order_acquire);
+    uint64_t go;
+    while ((go = slot.go.load(std::memory_order_acquire)) == seen) {
+      if (++spins > kSpinLimit) {
+        slot.parked.store(1, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        go = slot.go.load(std::memory_order_acquire);
+        if (go != seen) {
+          slot.parked.store(0, std::memory_order_relaxed);
+          break;
+        }
+        slot.go.wait(seen, std::memory_order_acquire);
+        slot.parked.store(0, std::memory_order_relaxed);
+        spins = 0;
+      }
     }
-    ++seen;
+    seen = go;  // sequence values may skip when this worker sat out epochs
     if (quit_.load(std::memory_order_acquire)) return;
-    RunClaimedShards();
-    finished_.fetch_add(1, std::memory_order_release);
-    finished_.notify_all();
+    if (!RunClaimedShards()) {
+      idle_wakeups_.fetch_add(1, std::memory_order_relaxed);
+    }
+    slot.done.store(seen, std::memory_order_release);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (waiting_.load(std::memory_order_relaxed)) slot.done.notify_all();
   }
 }
 
-void ShardedEngine::RunEpoch(Tick epoch_last) {
-  epoch_last_ = epoch_last;
+bool ShardedEngine::ComputeEpoch(Tick deadline) {
+  Tick earliest = kNone;
+  sole_live_ = -1;
+  int live_shards = 0;
+  const int n = num_shards();
+  for (int i = 0; i < n; ++i) {
+    EventQueue& q = shards_[static_cast<size_t>(i)]->queue();
+    if (q.empty()) continue;
+    ++live_shards;
+    sole_live_ = i;
+    const Tick t = q.next_time();
+    if (earliest == kNone || t < earliest) earliest = t;
+  }
+  if (live_shards != 1) sole_live_ = -1;
+  if (earliest == kNone || (deadline != kNone && earliest > deadline)) {
+    return false;
+  }
+  // Uniform conservative bound: any shard may send to any other, and no
+  // send issued at or after `earliest` can deliver inside the epoch.
+  epoch_end_ = earliest + lookahead_ - 1;
+  if (deadline != kNone) epoch_end_ = std::min(epoch_end_, deadline);
+  return true;
+}
+
+// Coarsened epoch: exactly one shard holds events and (right after a
+// barrier) no send is buffered, so nothing can influence that shard until
+// one of its own sends completes a round trip. Run its uniform sub-epochs
+// back to back on the control thread. Each quiet sub-boundary still runs
+// the barrier hook — replay is a no-op there, but the testbed's trace
+// batch marks must land exactly where the uniform engine would have put
+// them, which is what keeps the stitched trace byte-identical. Stop at the
+// first sub-epoch that buffers a send: its delivery seeds another shard at
+// send + W, and the engine returns to normal epochs.
+void ShardedEngine::RunCoarse(Tick deadline) {
+  Simulator* s = shards_[static_cast<size_t>(sole_live_)].get();
+  for (;;) {
+    tls_shard = sole_live_;
+    tls_sim = s;
+    s->StepUntil(epoch_end_);
+    tls_shard = -1;
+    tls_sim = nullptr;
+    if (pending_sends_fn_()) break;
+    EventQueue& q = s->queue();
+    if (q.empty()) break;
+    const Tick t = q.next_time();
+    if (deadline != kNone && t > deadline) break;
+    if (barrier_fn_) barrier_fn_();  // quiet sub-epoch close
+    epoch_end_ = t + lookahead_ - 1;
+    if (deadline != kNone) epoch_end_ = std::min(epoch_end_, deadline);
+  }
+  // Idle shards advance to the (final) epoch end exactly as RunEpoch's
+  // uniform path would have advanced them sub-epoch by sub-epoch.
+  const int n = num_shards();
+  for (int i = 0; i < n; ++i) {
+    if (i == sole_live_) continue;
+    Simulator* idle = shards_[static_cast<size_t>(i)].get();
+    if (idle->now() < epoch_end_) idle->StepUntil(epoch_end_);
+  }
+}
+
+void ShardedEngine::RunEpoch(Tick deadline) {
+  if (adaptive_ && sole_live_ >= 0 && pending_sends_fn_) {
+    RunCoarse(deadline);
+    return;
+  }
   active_.clear();
-  for (int i = 0; i < num_shards(); ++i) {
+  size_t live = 0;
+  const int n = num_shards();
+  for (int i = 0; i < n; ++i) {
     Simulator* s = shards_[static_cast<size_t>(i)].get();
-    if (!s->queue().empty() && s->queue().next_time() <= epoch_last) {
+    if (!s->queue().empty() && s->queue().next_time() <= epoch_end_) {
       active_.push_back(i);
-    } else if (s->now() < epoch_last) {
+      live += s->queue().size();
+    } else if (s->now() < epoch_end_) {
       // Idle shard: advance its clock directly so injected deliveries and
       // later control-context At() calls see a consistent `now`.
-      s->StepUntil(epoch_last);
+      s->StepUntil(epoch_end_);
     }
   }
   if (active_.empty()) return;
-  if (workers_.empty() || active_.size() == 1) {
-    // Serial fast path: identical schedule, no synchronization.
+  const int want = std::min(static_cast<int>(slots_.size()),
+                            static_cast<int>(active_.size()) - 1);
+  if (want <= 0 || live < serial_grain_) {
+    // Serial fast path: identical schedule, no synchronization, and no
+    // worker is woken — epochs with one active shard or a handful of
+    // events cost nothing in sync.
     for (int i : active_) {
       Simulator* s = shards_[static_cast<size_t>(i)].get();
       tls_shard = i;
       tls_sim = s;
-      s->StepUntil(epoch_last);
+      s->StepUntil(epoch_end_);
       tls_shard = -1;
       tls_sim = nullptr;
     }
     return;
   }
-  // All workers are parked at the epoch_seq_ spin (enforced by last
-  // epoch's finished_ wait), so resetting the claim state here is safe.
+  // Ring exactly `want` doorbells: workers beyond the active-shard count
+  // stay parked (their `go` never moves), which is what keeps
+  // idle_wakeups() at zero on sparse traffic. Epoch state written above is
+  // published by the release store in Ring().
   next_claim_.store(0, std::memory_order_relaxed);
-  finished_.store(0, std::memory_order_relaxed);
-  epoch_seq_.fetch_add(1, std::memory_order_release);
-  epoch_seq_.notify_all();
+  ++seq_;
+  for (int i = 0; i < want; ++i) Ring(*slots_[static_cast<size_t>(i)], seq_);
   RunClaimedShards();
-  const int nworkers = static_cast<int>(workers_.size());
-  int spins = 0;
-  int done;
-  while ((done = finished_.load(std::memory_order_acquire)) < nworkers) {
-    if (++spins > 4096) finished_.wait(done, std::memory_order_acquire);
+  for (int i = 0; i < want; ++i) {
+    WaitDone(*slots_[static_cast<size_t>(i)], seq_);
   }
 }
 
@@ -129,30 +239,41 @@ void ShardedEngine::Barrier() {
   if (barrier_fn_) barrier_fn_();
 }
 
+void ShardedEngine::RunEnd() {
+  if (run_end_fn_) run_end_fn_();
+}
+
 void ShardedEngine::EngineRunUntil(Tick deadline) {
   // Replay sends buffered from control context (e.g. a Shutdown() between
   // runs) before the first epoch: running an epoch first could advance a
   // shard's clock past the buffered send's delivery time.
   Barrier();
-  for (;;) {
-    const Tick t = NextEventTime();
-    if (t == kNone || t > deadline) break;
-    RunEpoch(std::min(t + lookahead_ - 1, deadline));
+  while (ComputeEpoch(deadline)) {
+    RunEpoch(deadline);
     Barrier();
   }
   for (auto& s : shards_) {
     if (s->now() < deadline) s->StepUntil(deadline);
   }
+  RunEnd();
 }
 
 void ShardedEngine::EngineRunToIdle() {
   Barrier();  // see EngineRunUntil
-  for (;;) {
-    const Tick t = NextEventTime();
-    if (t == kNone) break;
-    RunEpoch(t + lookahead_ - 1);
+  while (ComputeEpoch(kNone)) {
+    RunEpoch(kNone);
     Barrier();
   }
+  // A coarsened final epoch can leave the live shard ahead of the rest;
+  // equalize on the furthest clock so control-context sends issued after
+  // this run (e.g. Shutdown capsules) deliver in every shard's future,
+  // exactly as the uniform-epoch engine left things.
+  Tick latest = 0;
+  for (auto& s : shards_) latest = std::max(latest, s->now());
+  for (auto& s : shards_) {
+    if (s->now() < latest) s->StepUntil(latest);
+  }
+  RunEnd();
 }
 
 }  // namespace gimbal::sim

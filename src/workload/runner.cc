@@ -63,6 +63,11 @@ Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg) {
     ec.threads = cfg_.threads;
     ec.lookahead = cfg_.net.base_latency;
     ec.impl = cfg_.queue_impl;
+    // Coarsening merges single-shard stretches into one synchronization
+    // round without changing the executed schedule or the barrier-hook
+    // sequence (sim/shard.h); `uniform_epochs` keeps the full barrier
+    // cadence for the adaptive-epoch tests' A/B comparisons.
+    ec.adaptive = !cfg_.uniform_epochs;
     engine_ =
         std::make_unique<sim::ShardedEngine>(1 + cfg_.nodes * used_cores_, ec);
     sim_ = &engine_->shard(0);
@@ -74,6 +79,10 @@ Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg) {
       }
     }
     engine_->set_barrier_fn([this]() { OnEpochBarrier(); });
+    // Trace stitching is deferred off the barrier path: it runs once per
+    // Run()/RunToIdle, after the final barrier, so callers that read the
+    // session tracer right after sim().Run() still see a complete trace.
+    engine_->set_run_end_fn([this]() { MergeShardTracers(); });
   } else {
     owned_sim_ = std::make_unique<sim::Simulator>(cfg_.queue_impl);
     sim_ = owned_sim_.get();
@@ -115,6 +124,9 @@ Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg) {
       ssd_obs[i] = shard_obs_.empty() ? nullptr : SsdObs(i);
     }
     net_->ConfigureSharded(sim_, ssd_sims, engine_->num_shards());
+    // Coarsening probe: a coarsened epoch must stop at the first sub-epoch
+    // that buffers a cross-shard send (sim/shard.h).
+    engine_->set_pending_sends_fn([this]() { return net_->has_pending(); });
     faults_->ConfigureShards(ssd_sims, ssd_obs);
   }
   // Client-side components record into shard 0's private observability
@@ -182,8 +194,9 @@ Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg) {
 }
 
 Testbed::~Testbed() {
-  // Shard tracers merge at every epoch barrier; metrics merge here (and at
-  // the end of every Run), while everything is still alive and quiescent.
+  // Shard tracers merge at the end of every engine run; metrics drain here
+  // (and at the end of every Run), while everything is still alive and
+  // quiescent.
   PublishRackMetrics();
   MergeShardTracers();
   FlushShardMetrics();
@@ -204,47 +217,149 @@ void Testbed::PublishRackMetrics() {
 }
 
 void Testbed::OnEpochBarrier() {
-  MergeShardTracers();
+  // The barrier is the engine's per-epoch constant factor: only the work
+  // that *must* happen while all shards are quiescent lives here. Trace
+  // stitching and metric merging are deferred to the end of the run; the
+  // barrier just records where each batch ends.
+  PropagateTracerEnable();
+  RecordTraceMarks();
   net_->ReplayPending();
+}
+
+void Testbed::RecordTraceMarks() {
+  if (!tracers_live_) return;
+  size_t total = 0;
+  for (auto& o : shard_obs_) total += o->tracer.size();
+  // Buffer sizes only grow between merges, so an unchanged total means an
+  // empty batch: it would stitch to nothing, and skipping it keeps the
+  // mark log proportional to the trace, not to the barrier count. (The
+  // session mark can be skipped along with it: session-direct events
+  // recorded across skipped barriers sit before the next *recorded*
+  // batch, which is where the inline stitch left them too.)
+  if (total == last_mark_total_) return;
+  last_mark_total_ = total;
+  trace_marks_.push_back(cfg_.obs->tracer.size());
+  for (auto& o : shard_obs_) trace_marks_.push_back(o->tracer.size());
+}
+
+void Testbed::PropagateTracerEnable() {
+  if (tracers_live_ || !cfg_.obs || shard_obs_.empty()) return;
+  obs::EventTracer& session = cfg_.obs->tracer;
+  if (!session.enabled()) return;
+  // Session tracer enabled after construction: bring the shard tracers up
+  // now; events before this point are lost exactly as they would be with a
+  // late Enable() in plain mode. Latched so steady-state barriers pay one
+  // boolean test.
+  for (auto& o : shard_obs_) {
+    if (!o->tracer.enabled()) o->tracer.Enable(session.limit());
+  }
+  tracers_live_ = true;
 }
 
 void Testbed::MergeShardTracers() {
   if (!cfg_.obs || shard_obs_.empty()) return;
   obs::EventTracer& session = cfg_.obs->tracer;
   if (!session.enabled()) return;
-  merge_buf_.clear();
-  for (auto& o : shard_obs_) {
-    obs::EventTracer& t = o->tracer;
-    if (!t.enabled()) {
-      // Session tracer enabled after construction: bring the shard tracer
-      // up now; events before this point are lost exactly as they would be
-      // with a late Enable() in plain mode.
-      t.Enable(session.limit());
-      continue;
+  PropagateTracerEnable();
+  // Replay of the per-barrier stitch the engine used to do inline: every
+  // mark row recorded by OnEpochBarrier delimits one barrier's batch — the
+  // events each shard recorded since the previous row. A batch is
+  // concatenated in shard order and stable-sorted by timestamp, the same
+  // canonical (ts, shard) order the inline stitch appended at that
+  // barrier, so deferring the sorts and appends to the end of the run
+  // changes when the work happens, not the resulting byte stream. Span
+  // events make this batch structure load-bearing: a span is recorded at
+  // completion but carries its start as `ts`, so a single whole-run sort
+  // would hoist it ahead of batches that preceded its recording.
+  //
+  // Some components record into the session tracer directly, mid-run: the
+  // txn coordinators and the invariant checker attach the session obs, not
+  // a shard one. The inline stitch interleaved its batches with those live
+  // appends, so each mark row also carries the session buffer's size at
+  // that barrier, and the merge rebuilds the whole stream: take the live
+  // buffer out, then emit (session-direct events up to the row's mark,
+  // then the row's batch) per row, in order.
+  //
+  // Truncation also matches: the rebuilt stream fills in exact inline
+  // order, so its first `limit` events are the inline stitch's kept set.
+  // Live appends the splice then drops had at least `limit` stream
+  // predecessors, as do events dropped shard-side or (when session-direct
+  // traffic alone overflows the buffer) live; each attempted event lands
+  // in exactly one of the kept stream, the splice drop count, a shard's
+  // drop count or the session's own, so the totals agree too.
+  const size_t ns = shard_obs_.size();
+  const size_t stride = ns + 1;  // session mark + one mark per shard
+  std::vector<obs::EventTracer::Event> live = session.TakeForStitch();
+  const size_t limit = session.limit();
+  std::vector<obs::EventTracer::Event> out;
+  size_t batched = 0;
+  for (auto& o : shard_obs_) batched += o->tracer.size();
+  out.reserve(std::min(live.size() + batched, limit));
+  size_t extra_dropped = 0;
+  size_t live_pos = 0;
+  auto emit = [&](const obs::EventTracer::Event& e) {
+    if (out.size() < limit) {
+      out.push_back(e);
+    } else {
+      ++extra_dropped;
     }
-    for (const obs::EventTracer::Event& e : t.events()) {
-      merge_buf_.push_back(e);
+  };
+  std::vector<size_t> prev(ns, 0);
+  auto stitch_batch = [&](const size_t* row) {
+    for (; live_pos < row[0] && live_pos < live.size(); ++live_pos) {
+      emit(live[live_pos]);
     }
-    session.AddDropped(t.dropped());
-    t.Clear();
+    merge_buf_.clear();
+    for (size_t s = 0; s < ns; ++s) {
+      const auto& events = shard_obs_[s]->tracer.events();
+      for (size_t i = prev[s]; i < row[s + 1]; ++i) {
+        merge_buf_.push_back(events[i]);
+      }
+      prev[s] = row[s + 1];
+    }
+    std::stable_sort(
+        merge_buf_.begin(), merge_buf_.end(),
+        [](const obs::EventTracer::Event& a,
+           const obs::EventTracer::Event& b) { return a.ts < b.ts; });
+    for (const obs::EventTracer::Event& e : merge_buf_) emit(e);
+  };
+  for (size_t r = 0; r + stride <= trace_marks_.size(); r += stride) {
+    stitch_batch(&trace_marks_[r]);
   }
-  // Canonical (ts, shard) order: per-shard buffers are time-sorted, and
-  // they were appended in shard order, so a stable sort by timestamp alone
-  // lands every event in its final position regardless of thread count.
-  std::stable_sort(merge_buf_.begin(), merge_buf_.end(),
-                   [](const obs::EventTracer::Event& a,
-                      const obs::EventTracer::Event& b) { return a.ts < b.ts; });
-  for (const obs::EventTracer::Event& e : merge_buf_) session.Append(e);
+  // Tail: events recorded since the last barrier (a mid-run flush) form
+  // one final batch, exactly as an inline stitch at this point would.
+  std::vector<size_t> tail(stride);
+  tail[0] = live.size();
+  for (size_t s = 0; s < ns; ++s) tail[s + 1] = shard_obs_[s]->tracer.size();
+  stitch_batch(tail.data());
+  session.RestoreFromStitch(std::move(out), extra_dropped);
+  for (auto& o : shard_obs_) {
+    session.AddDropped(o->tracer.dropped());
+    o->tracer.Clear();
+  }
+  trace_marks_.clear();
+  last_mark_total_ = 0;
 }
 
 void Testbed::FlushShardMetrics() {
   if (!cfg_.obs || shard_obs_.empty()) return;
+  // Delta drain: only series touched since the previous flush move, each
+  // through a cached session-side pointer — repeated flushes of a
+  // quiescent shard cost a linear dirty scan and add nothing twice.
   for (auto& o : shard_obs_) {
-    cfg_.obs->metrics.MergeFrom(o->metrics);
-    // Zero the merged-out counters/histograms so the next flush adds only
-    // the delta; gauges keep their values and overwrite idempotently.
-    o->metrics.ResetRun(cfg_.run_label);
+    o->metrics.DrainDeltaInto(cfg_.obs->metrics);
   }
+  PublishEngineMetrics();
+}
+
+void Testbed::PublishEngineMetrics() {
+  if (!cfg_.obs || !engine_) return;
+  namespace schema = obs::schema;
+  obs::MetricsRegistry& reg = cfg_.obs->metrics;
+  reg.GetGauge(schema::kShardEpochs)
+      .Set(static_cast<double>(engine_->epochs()));
+  reg.GetGauge(schema::kShardIdleWakeups)
+      .Set(static_cast<double>(engine_->idle_wakeups()));
 }
 
 std::unique_ptr<core::IoPolicy> Testbed::MakePolicy(sim::Simulator& psim,

@@ -98,6 +98,12 @@ struct TestbedConfig {
   uint64_t fault_seed = 1;
   fabric::RetryParams retry = {};
 
+  // Force a full synchronization barrier per uniform T + W - 1 epoch
+  // instead of coarsening single-shard stretches (docs/SIMULATOR.md).
+  // Results are identical either way — the determinism suite runs both and
+  // compares digests; this knob exists for those tests and for perf A/Bs.
+  bool uniform_epochs = false;
+
   // Event-queue engine under the simulator(s). The timing wheel is the
   // production default; the reference heap is kept as an ordering oracle so
   // determinism tests can replay the same testbed on both engines and
@@ -221,10 +227,18 @@ class Testbed {
   sim::Simulator& SsdSim(int i);
   // The observability pipeline/SSD i records into (cfg.obs in plain mode).
   obs::Observability* SsdObs(int i);
-  // Barrier work: replay buffered fabric sends, fold shard tracers into
-  // the session tracer in (ts, shard) order.
+  // Barrier work: replay buffered fabric sends (and, once, bring shard
+  // tracers up after a late session Enable). Trace stitching and metric
+  // merging are deliberately NOT here — they run per Run, not per epoch.
   void OnEpochBarrier();
+  void PropagateTracerEnable();
+  // Append one row of trace buffer sizes (session tracer first, then each
+  // shard) delimiting this barrier's batch (skipped when no shard recorded
+  // anything since the previous row).
+  void RecordTraceMarks();
   void MergeShardTracers();
+  // Overwrite the shard.* engine gauges (epochs, idle wakeups).
+  void PublishEngineMetrics();
   // Fold shard metric registries into the session registry (delta since
   // the previous flush; gauges overwrite idempotently).
   void FlushShardMetrics();
@@ -244,6 +258,12 @@ class Testbed {
   // Per-shard observability (index = shard id), sharded + observed only.
   std::vector<std::unique_ptr<obs::Observability>> shard_obs_;
   std::vector<obs::EventTracer::Event> merge_buf_;
+  // Flat (rows x (1 + num_shards)) per-barrier trace buffer sizes —
+  // session tracer then each shard — the batch boundaries and splice
+  // points MergeShardTracers replays at the end of the run.
+  std::vector<size_t> trace_marks_;
+  size_t last_mark_total_ = 0;
+  bool tracers_live_ = false;  // shard tracers track the session Enable
   // Owned checker when cfg.check is null; declared before the components
   // it observes so it outlives their destructors.
   std::unique_ptr<check::InvariantChecker> owned_check_;

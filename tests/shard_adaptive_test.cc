@@ -1,0 +1,160 @@
+// Adaptive-epoch matrix for the sharded engine (docs/SIMULATOR.md).
+//
+// When exactly one shard holds pending events and no cross-shard send is
+// buffered, the engine runs that shard's uniform sub-epochs back to back
+// on the control thread instead of taking a full synchronization round at
+// every T + W - 1 boundary. The contract this suite pins down:
+//
+//   * digests are identical to the serial (threads=1) run for sparse and
+//     dense cross-shard traffic, at 1/2/4 threads, on both event-queue
+//     engines, across seeds;
+//   * coarsening changes how many *synchronization rounds* run, never the
+//     schedule: forcing a full barrier per uniform epoch
+//     (TestbedConfig::uniform_epochs) reproduces the same digest;
+//   * coarsening actually pays: on sparse traffic the adaptive run
+//     executes strictly fewer synchronization rounds than the uniform run;
+//   * workers are never woken for epochs with nothing to claim: on sparse
+//     traffic (single active shard per epoch → serial dispatch) the
+//     idle-wakeup counter stays exactly 0 even with a full worker pool.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "obs/obs.h"
+#include "sim/event_queue.h"
+#include "workload/runner.h"
+
+namespace gimbal {
+namespace {
+
+using workload::FioSpec;
+using workload::Scheme;
+using workload::SsdCondition;
+using workload::Testbed;
+using workload::TestbedConfig;
+
+constexpr size_t kTraceLimit = 4u << 20;
+
+struct ShardRun {
+  uint64_t digest = 0;
+  uint64_t epochs = 0;
+  uint64_t idle_wakeups = 0;
+};
+
+// Sparse: one queue-depth-1 tenant on one of three SSDs — long stretches
+// where a single shard owns every pending event. Dense: every SSD loaded
+// with a victim + write neighbour, so cross-shard sends buffer in nearly
+// every epoch.
+ShardRun RunSharded(sim::EventQueue::Impl impl, int threads, uint64_t seed,
+                    bool sparse, bool uniform_epochs) {
+  obs::Observability obs;
+  obs.tracer.Enable(kTraceLimit);
+  TestbedConfig cfg;
+  cfg.num_ssds = 3;  // < target cores (4): one pipeline per core shard
+  cfg.scheme = Scheme::kGimbal;
+  cfg.condition = SsdCondition::kClean;
+  cfg.ssd.logical_bytes = 128ull << 20;
+  cfg.queue_impl = impl;
+  cfg.threads = threads;
+  cfg.uniform_epochs = uniform_epochs;
+  cfg.obs = &obs;
+  cfg.run_label = sparse ? "adaptive_sparse" : "adaptive_dense";
+  Testbed bed(cfg);
+  if (sparse) {
+    FioSpec lone;
+    lone.io_bytes = 131072;
+    lone.queue_depth = 1;
+    lone.seed = seed;
+    bed.AddWorker(lone, 0);
+  } else {
+    for (int s = 0; s < cfg.num_ssds; ++s) {
+      FioSpec victim;
+      victim.io_bytes = 4096;
+      victim.queue_depth = 16;
+      victim.seed = seed + static_cast<uint64_t>(s);
+      bed.AddWorker(victim, s);
+      FioSpec neighbor;
+      neighbor.io_bytes = 131072;
+      neighbor.queue_depth = 4;
+      neighbor.read_ratio = 0.0;
+      neighbor.seed = seed + 1000 + static_cast<uint64_t>(s);
+      bed.AddWorker(neighbor, s);
+    }
+  }
+  bed.Run(Milliseconds(5), Milliseconds(15));
+  EXPECT_EQ(obs.tracer.dropped(), 0u);
+  ShardRun out;
+  out.digest = obs.tracer.Digest();
+  EXPECT_NE(bed.engine(), nullptr) << "testbed unexpectedly unsharded";
+  if (bed.engine() != nullptr) {
+    out.epochs = bed.engine()->epochs();
+    out.idle_wakeups = bed.engine()->idle_wakeups();
+  }
+  return out;
+}
+
+struct MatrixParam {
+  uint64_t seed;
+  bool sparse;
+};
+
+class AdaptiveEpochMatrix : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(AdaptiveEpochMatrix, ShardedDigestMatchesSerialAtEveryThreadCount) {
+  const MatrixParam p = GetParam();
+  const ShardRun serial = RunSharded(sim::EventQueue::Impl::kTimingWheel, 1,
+                                     p.seed, p.sparse, false);
+  for (int threads : {2, 4}) {
+    const ShardRun run = RunSharded(sim::EventQueue::Impl::kTimingWheel,
+                                    threads, p.seed, p.sparse, false);
+    EXPECT_EQ(serial.digest, run.digest)
+        << "threads=" << threads << " diverged from serial, seed " << p.seed
+        << (p.sparse ? " (sparse)" : " (dense)");
+    // The epoch chop is a pure function of queue states, so even the
+    // barrier count is thread-count invariant.
+    EXPECT_EQ(serial.epochs, run.epochs)
+        << "epoch count changed with threads=" << threads;
+  }
+  const ShardRun heap = RunSharded(sim::EventQueue::Impl::kReferenceHeap, 4,
+                                   p.seed, p.sparse, false);
+  EXPECT_EQ(serial.digest, heap.digest)
+      << "reference heap at threads=4 diverged, seed " << p.seed;
+}
+
+TEST_P(AdaptiveEpochMatrix, ShardedAdaptiveScheduleEqualsUniformSchedule) {
+  const MatrixParam p = GetParam();
+  const ShardRun adaptive = RunSharded(sim::EventQueue::Impl::kTimingWheel, 2,
+                                       p.seed, p.sparse, false);
+  const ShardRun uniform = RunSharded(sim::EventQueue::Impl::kTimingWheel, 2,
+                                      p.seed, p.sparse, true);
+  EXPECT_EQ(adaptive.digest, uniform.digest)
+      << "coarsening changed the schedule, seed " << p.seed
+      << (p.sparse ? " (sparse)" : " (dense)");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, AdaptiveEpochMatrix,
+    ::testing::Values(MatrixParam{1u, true}, MatrixParam{7u, true},
+                      MatrixParam{42u, true}, MatrixParam{1u, false},
+                      MatrixParam{7u, false}, MatrixParam{42u, false}));
+
+TEST(AdaptiveEpochMatrix, ShardedCoarseningReducesBarriersOnSparseTraffic) {
+  const ShardRun adaptive =
+      RunSharded(sim::EventQueue::Impl::kTimingWheel, 1, 1u, true, false);
+  const ShardRun uniform =
+      RunSharded(sim::EventQueue::Impl::kTimingWheel, 1, 1u, true, true);
+  EXPECT_LT(adaptive.epochs, uniform.epochs)
+      << "coarsening did not reduce the synchronization-round count";
+}
+
+TEST(AdaptiveEpochMatrix, ShardedSparseTrafficNeverWakesIdleWorkers) {
+  // Full worker pool, but every sparse epoch has a single active shard and
+  // a handful of live events — the serial dispatch path must handle all of
+  // them without ringing a doorbell.
+  const ShardRun run =
+      RunSharded(sim::EventQueue::Impl::kTimingWheel, 4, 1u, true, false);
+  EXPECT_EQ(run.idle_wakeups, 0u);
+}
+
+}  // namespace
+}  // namespace gimbal
